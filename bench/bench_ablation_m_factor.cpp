@@ -1,0 +1,92 @@
+// E15 — ablation from Section 1.2: why diligence beats the M(G) factor.
+//
+// Giakkoupis, Sauerwald & Stauffer [17] bound the synchronous spread time by
+// min{ t : Σ Φ(G(p)) = Ω(M(G)·log n) } with M(G) = max_u Δ_u/δ_u, the
+// worst-case degree fluctuation of a single node across time. The paper's
+// Section 1.2 critique: alternate d(t)-regular graphs with d(t) ∈ {3, n-1}
+// (every other step a complete graph). Then M(G) = (n-1)/3 although every
+// exposed graph is perfectly regular, so the [17] bound inflates to
+// Θ(n log n) while the true spread time — and the Theorem 1.1 bound, whose
+// per-step summand Φ·ρ sees ρ = 1 on regular graphs — is Θ(log n).
+//
+// Constants: both bounds are evaluated with the same threshold constant
+// C(c)·log n so the comparison isolates the structural factor M(G) vs ρ.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "bounds/theorem_bounds.h"
+#include "common/bench_util.h"
+#include "dynamic/simple_networks.h"
+#include "graph/builders.h"
+#include "graph/conductance.h"
+#include "graph/random_graphs.h"
+
+int main(int argc, char** argv) {
+  using namespace rumor;
+  const Cli cli(argc, argv);
+  const int trials = static_cast<int>(cli.get_int("trials", 15));
+  const double scale = cli.get_double("scale", 1.0);
+  const double c = 1.0;
+
+  bench::banner("E15", "Section 1.2 (ablation vs [17])",
+                "alternating {3-regular, K_n} networks: the M(G)-based bound of [17] is "
+                "Theta(n log n), the diligence-based Theorem 1.1 stays Theta(log n)");
+
+  Table table({"n", "measured spread", "T(G,c) [Thm 1.1]", "T_[17] (M-factor)",
+               "T17/T11", "M(G)"});
+  bool gap_grows = true;
+  double prev_ratio = 0.0;
+
+  for (NodeId n : {static_cast<NodeId>(256 * scale), static_cast<NodeId>(512 * scale),
+                   static_cast<NodeId>(1024 * scale), static_cast<NodeId>(2048 * scale)}) {
+    // The alternating network. Both phases are regular, so ρ = 1 on every
+    // step; Φ(3-regular expander) is estimated spectrally once, Φ(K_n) in
+    // closed form.
+    Rng build_rng(17);
+    Graph sparse = random_connected_regular(build_rng, n, 3);
+    const double phi_sparse = spectral_conductance_bounds(sparse).lower;
+    const double phi_clique = static_cast<double>(n - n / 2) / (n - 1);
+
+    GraphProfile sparse_p{phi_sparse, 1.0, 1.0 / 3.0, true, false};
+    GraphProfile clique_p{phi_clique, 1.0, 1.0 / (n - 1.0), true, true};
+
+    RunnerOptions opt;
+    opt.trials = trials;
+    const Graph* sparse_ptr = &sparse;
+    const auto report = bench::run_all_completed(
+        [n, sparse_ptr](std::uint64_t) {
+          std::vector<Graph> phases;
+          phases.push_back(*sparse_ptr);  // copy: phases alternate 3-regular, K_n
+          phases.push_back(make_clique(n));
+          return std::make_unique<PeriodicNetwork>(std::move(phases));
+        },
+        opt);
+
+    // Theorem 1.1 crossing: Σ Φ·ρ with ρ = 1 every step.
+    const double per_step_11 = (sparse_p.phi_rho() + clique_p.phi_rho()) / 2.0;
+    const double t11 = theorem11_threshold(n, c) / per_step_11;
+    // [17]-style crossing: Σ Φ >= M(G)·C·log n with M(G) = (n-1)/3.
+    const double m_factor = (static_cast<double>(n) - 1.0) / 3.0;
+    const double per_step_17 = (phi_sparse + phi_clique) / 2.0;
+    const double t17 = m_factor * theorem11_threshold(n, c) / per_step_17;
+
+    const double ratio = t17 / t11;
+    gap_grows = gap_grows && ratio > prev_ratio && report.spread_time.mean() <= t11;
+    prev_ratio = ratio;
+
+    table.add_row({Table::cell(static_cast<std::int64_t>(n)),
+                   bench::mean_pm(report.spread_time), Table::cell(t11),
+                   Table::cell(t17), Table::cell(ratio, 4), Table::cell(m_factor, 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe T17/T11 column grows linearly in n: exactly the O(n) factor the "
+               "paper's\nSection 1.2 identifies. Diligence tracks |I_t| directly and sees "
+               "the regular\ngraphs as 1-diligent, while M(G) pays for cross-step degree "
+               "fluctuation.\n";
+
+  bench::verdict(gap_grows, "measured spread within the Theorem 1.1 bound while the "
+                            "M(G)-factor bound inflates by Theta(n)");
+  return gap_grows ? 0 : 1;
+}

@@ -1,0 +1,150 @@
+// E14 — engine and substrate throughput (google-benchmark).
+//
+// Not a paper experiment: these microbenchmarks document the cost model the
+// experiment binaries rely on (events/second of the two engines, metric
+// computation, sampler operations) and guard against performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "core/async_engine.h"
+#include "core/sync_engine.h"
+#include "dynamic/diligent_adversary.h"
+#include "dynamic/simple_networks.h"
+#include "graph/builders.h"
+#include "graph/conductance.h"
+#include "graph/diligence.h"
+#include "graph/random_graphs.h"
+#include "stats/fenwick.h"
+
+namespace rumor {
+namespace {
+
+void BM_JumpEngineClique(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = make_clique(n);
+  std::uint64_t seed = 1;
+  std::int64_t infections = 0;
+  for (auto _ : state) {
+    StaticNetwork net(g);
+    Rng rng(seed++);
+    const auto r = run_async_jump(net, 0, rng);
+    infections += r.informative_contacts;
+    benchmark::DoNotOptimize(r.spread_time);
+  }
+  state.SetItemsProcessed(infections);
+  state.SetLabel("items = infections");
+}
+BENCHMARK(BM_JumpEngineClique)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_JumpEngineExpander(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng build_rng(7);
+  const Graph g = random_connected_regular(build_rng, n, 4);
+  std::uint64_t seed = 1;
+  std::int64_t infections = 0;
+  for (auto _ : state) {
+    StaticNetwork net(g);
+    Rng rng(seed++);
+    const auto r = run_async_jump(net, 0, rng);
+    infections += r.informative_contacts;
+  }
+  state.SetItemsProcessed(infections);
+}
+BENCHMARK(BM_JumpEngineExpander)->Arg(1024)->Arg(8192);
+
+void BM_TickEngineClique(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = make_clique(n);
+  std::uint64_t seed = 1;
+  std::int64_t contacts = 0;
+  for (auto _ : state) {
+    StaticNetwork net(g);
+    Rng rng(seed++);
+    const auto r = run_async_tick(net, 0, rng);
+    contacts += r.total_contacts;
+  }
+  state.SetItemsProcessed(contacts);
+  state.SetLabel("items = contacts");
+}
+BENCHMARK(BM_TickEngineClique)->Arg(256)->Arg(1024);
+
+void BM_SyncEngineClique(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = make_clique(n);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    StaticNetwork net(g);
+    Rng rng(seed++);
+    const auto r = run_sync(net, 0, rng);
+    benchmark::DoNotOptimize(r.spread_time);
+  }
+}
+BENCHMARK(BM_SyncEngineClique)->Arg(1024);
+
+void BM_DiligentAdversaryRun(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    DiligentAdversaryNetwork net(n, 0.125, 0, seed);
+    Rng rng(seed++);
+    const auto r = run_async_jump(net, net.suggested_source(), rng);
+    benchmark::DoNotOptimize(r.spread_time);
+  }
+}
+BENCHMARK(BM_DiligentAdversaryRun)->Arg(1024);
+
+void BM_ExactConductance(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = make_pendant_clique(n - 1);
+  for (auto _ : state) benchmark::DoNotOptimize(exact_conductance(g));
+}
+BENCHMARK(BM_ExactConductance)->Arg(12)->Arg(16);
+
+void BM_SpectralConductance(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = make_regular_circulant(n, 8);
+  for (auto _ : state) benchmark::DoNotOptimize(spectral_conductance_bounds(g).lower);
+}
+BENCHMARK(BM_SpectralConductance)->Arg(1024)->Arg(8192);
+
+void BM_AbsoluteDiligence(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = make_regular_circulant(n, 8);
+  for (auto _ : state) benchmark::DoNotOptimize(absolute_diligence(g));
+}
+BENCHMARK(BM_AbsoluteDiligence)->Arg(8192);
+
+void BM_FenwickSampleUpdate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  FenwickTree f(n);
+  Rng rng(3);
+  for (std::size_t i = 0; i < n; ++i) f.set(i, rng.uniform() + 0.01);
+  for (auto _ : state) {
+    const auto i = f.sample(rng.uniform() * f.total());
+    f.set(i, rng.uniform() + 0.01);
+    benchmark::DoNotOptimize(i);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FenwickSampleUpdate)->Arg(1024)->Arg(65536);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RandomRegularBuild(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(random_regular(rng, n, 4).edge_count());
+  }
+}
+BENCHMARK(BM_RandomRegularBuild)->Arg(1024)->Arg(8192);
+
+}  // namespace
+}  // namespace rumor
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// E12 — static-network context for the dichotomy (Section 1 / Section 6):
+//  (a) on static graphs the async spread time tracks O(log n / Φ)
+//      (Chierichetti et al. [6] for sync; the async analogue via [1,16]);
+//  (b) Ta(G) = O(Ts(G) + log n) on static graphs (Giakkoupis et al. [16]) —
+//      exactly the relation Theorem 1.7 shows to FAIL on dynamic networks.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "common/bench_util.h"
+#include "dynamic/simple_networks.h"
+#include "graph/builders.h"
+#include "graph/conductance.h"
+#include "graph/random_graphs.h"
+
+int main(int argc, char** argv) {
+  using namespace rumor;
+  const Cli cli(argc, argv);
+  const int trials = static_cast<int>(cli.get_int("trials", 20));
+  const NodeId n = static_cast<NodeId>(cli.get_int("n", 1024));
+
+  bench::banner("E12", "static baselines ([6],[16], Sections 1 and 6)",
+                "static graphs: Ta ~ O(log n / Phi) and Ta = O(Ts + log n) — the relation "
+                "that DYNAMIC networks break (see E6/E7)");
+
+  struct Family {
+    std::string name;
+    Graph graph;
+    double phi;  // analytic or spectral value
+  };
+  std::vector<Family> families;
+  families.push_back({"clique", make_clique(n),
+                      static_cast<double>(n - n / 2) / (n - 1)});
+  families.push_back({"star", make_star(n), 1.0});
+  {
+    Rng rng(5);
+    Graph g = random_connected_regular(rng, n, 4);
+    const double phi = spectral_conductance_bounds(g).lower;
+    families.push_back({"4reg-expander", std::move(g), phi});
+  }
+  families.push_back({"cycle", make_cycle(n), 1.0 / (n / 2)});
+  families.push_back(
+      {"circulant-d8", make_regular_circulant(n, 8), 4.0 / (n / 2.0)});
+  families.push_back({"two-cliques-bridge", make_two_cliques_bridge(n / 2, n / 2, 0, n / 2),
+                      1.0 / (static_cast<double>(n / 2) * (n / 2 - 1) + 1.0)});
+
+  Table table({"graph", "Phi", "Ta mean±se", "Ts mean±se", "Ta*Phi/ln(n)",
+               "Ta<=4(Ts+ln n)"});
+  bool conductance_shape = true;
+  bool relation_holds = true;
+  for (auto& fam : families) {
+    RunnerOptions opt;
+    opt.trials = trials;
+    opt.time_limit = 1e7;
+    opt.engine = EngineKind::async_jump;
+    const Graph& g = fam.graph;
+    const auto a = bench::run_all_completed(
+        [&g](std::uint64_t) { return std::make_unique<StaticNetwork>(g); }, opt);
+    opt.engine = EngineKind::sync_rounds;
+    opt.round_limit = 100000000;
+    const auto s = bench::run_all_completed(
+        [&g](std::uint64_t) { return std::make_unique<StaticNetwork>(g); }, opt);
+
+    const double ta = a.spread_time.mean();
+    const double ts = s.spread_time.mean();
+    const double normalized = ta * fam.phi / std::log(n);
+    // O(log n / Phi): the normalized constant must stay within a fixed band
+    // across five orders of magnitude of Phi.
+    conductance_shape = conductance_shape && normalized < 8.0;
+    const bool rel = ta <= 4.0 * (ts + std::log(n));
+    relation_holds = relation_holds && rel;
+    table.add_row({fam.name, Table::cell(fam.phi, 3), bench::mean_pm(a.spread_time),
+                   bench::mean_pm(s.spread_time), Table::cell(normalized, 3),
+                   rel ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  bench::verdict(conductance_shape && relation_holds,
+                 "static networks obey Ta = O(log n / Phi) and Ta = O(Ts + log n); contrast "
+                 "with E6 (Ta/Ts ~ n/log n) and E7 (Ts/Ta ~ n/log n) in dynamic networks");
+  return (conductance_shape && relation_holds) ? 0 : 1;
+}

@@ -1,0 +1,133 @@
+// E2 — Theorem 1.2 / Section 4: the ρ-diligent adversary G(n,ρ) built from
+// H_{k,Δ} strings makes Theorem 1.1 tight up to o(log² n).
+//
+// For ρ ∈ {1, n^{-1/4}, n^{-1/2}} the table reports the measured spread time,
+// the paper's lower bound Ω(n/(4kΔ)) (each unit step steals at most the kΔ
+// string nodes from B), and the Theorem 1.1 upper bound computed from the
+// family's analytic profile; the two bracket the measurement and their gap is
+// the paper's o(log² n) factor.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "bounds/theorem_bounds.h"
+#include "common/bench_util.h"
+#include "dynamic/diligent_adversary.h"
+#include "stats/regression.h"
+
+namespace rumor {
+namespace {
+
+struct Row {
+  NodeId n;
+  double rho;
+  NodeId delta;
+  int k;
+  SampleSet spread;
+  double lower;
+  double upper;  // T(G,c) from the analytic per-step profile
+};
+
+}  // namespace
+}  // namespace rumor
+
+int main(int argc, char** argv) {
+  using namespace rumor;
+  const Cli cli(argc, argv);
+  const int trials = static_cast<int>(cli.get_int("trials", 8));
+  const double scale = cli.get_double("scale", 1.0);
+
+  bench::banner("E2", "Theorem 1.2 / Section 4",
+                "G(n,rho) forces spread >= Omega(n*rho/k) while Theorem 1.1 predicts "
+                "O((rho*n + k/rho) log n): tight up to o(log^2 n)");
+
+  std::vector<Row> rows;
+  std::vector<double> ns, spreads_mid;  // for the scaling fit at rho = n^{-1/4}
+
+  for (NodeId n : {static_cast<NodeId>(512 * scale), static_cast<NodeId>(1024 * scale),
+                   static_cast<NodeId>(2048 * scale), static_cast<NodeId>(4096 * scale)}) {
+    const double rhos[3] = {1.0, std::pow(n, -0.25), std::pow(n, -0.5)};
+    for (double rho : rhos) {
+      // rho = 1 means Delta = 1: the adversary rebuilds the whole H graph
+      // every unit step for ~n/(4k) steps, which dominates the bench runtime;
+      // the large-n scaling information lives in the other two rho regimes.
+      if (rho == 1.0 && n > static_cast<NodeId>(1024 * scale)) continue;
+      RunnerOptions opt;
+      opt.trials = trials;
+      opt.time_limit = 1e7;
+      const auto report = bench::run_all_completed(
+          [n, rho](std::uint64_t seed) {
+            return std::make_unique<DiligentAdversaryNetwork>(n, rho, 0, seed);
+          },
+          opt);
+
+      DiligentAdversaryNetwork probe(n, rho, 0, 1);
+      const double per_step = probe.current_profile().phi_rho();
+      const double upper = theorem11_threshold(n, 1.0) / per_step;
+
+      Row row{n,    rho,   probe.delta(), probe.layers(), report.spread_time,
+              probe.spread_time_lower_bound(), upper};
+      rows.push_back(row);
+      if (std::abs(rho - std::pow(n, -0.25)) < 1e-12) {
+        ns.push_back(n);
+        spreads_mid.push_back(report.spread_time.mean());
+      }
+    }
+  }
+
+  Table table({"n", "rho", "Delta", "k", "spread mean±se", "LB n/(4kD)", "UB T(G,c)",
+               "spread/LB", "UB/spread"});
+  bool bracketed = true;
+  for (const auto& row : rows) {
+    const double mean = row.spread.mean();
+    // The lower bound is asymptotic (Lemma 4.2 needs large k); allow a
+    // constant-factor grace at bench scale.
+    const bool ok = mean >= 0.2 * row.lower && mean <= row.upper;
+    bracketed = bracketed && ok;
+    table.add_row({Table::cell(static_cast<std::int64_t>(row.n)), Table::cell(row.rho, 3),
+                   Table::cell(static_cast<std::int64_t>(row.delta)),
+                   Table::cell(static_cast<std::int64_t>(row.k)), bench::mean_pm(row.spread),
+                   Table::cell(row.lower), Table::cell(row.upper),
+                   Table::cell(mean / row.lower, 3), Table::cell(row.upper / mean, 3)});
+  }
+  table.print(std::cout);
+
+  if (ns.size() >= 3) {
+    const auto fit = fit_power_law(ns, spreads_mid);
+    std::cout << "\nscaling at rho = n^(-1/4): spread ~ n^" << Table::cell(fit.slope, 3)
+              << " (theory: n * n^(-1/4) / k ~ n^0.75 / log-ish, so ~0.6-0.8 expected; "
+              << "R^2 = " << Table::cell(fit.r_squared, 3) << ")\n";
+  }
+
+  // Ablation in k: the lower bound n/(4kΔ) predicts spread ∝ 1/k (a longer
+  // string steals more of B per step but is harder to cross — at bench scale
+  // the 1/k term dominates).
+  {
+    const NodeId n = static_cast<NodeId>(1024 * scale);
+    const double rho = 0.125;
+    std::cout << "\nk-ablation at n = " << n << ", rho = " << rho << ":\n";
+    Table ktab({"k", "spread mean±se", "LB n/(4kD)", "spread/LB"});
+    for (int k : {2, 4, 8}) {
+      RunnerOptions opt;
+      opt.trials = trials;
+      opt.time_limit = 1e7;
+      const auto report = bench::run_all_completed(
+          [n, rho, k](std::uint64_t seed) {
+            return std::make_unique<DiligentAdversaryNetwork>(n, rho, k, seed);
+          },
+          opt);
+      DiligentAdversaryNetwork probe(n, rho, k, 1);
+      ktab.add_row({Table::cell(static_cast<std::int64_t>(k)),
+                    bench::mean_pm(report.spread_time),
+                    Table::cell(probe.spread_time_lower_bound()),
+                    Table::cell(report.spread_time.mean() / probe.spread_time_lower_bound(),
+                                3)});
+    }
+    ktab.print(std::cout);
+  }
+
+  bench::verdict(bracketed,
+                 "measured spread bracketed by Omega(n rho / k) and the Theorem 1.1 value "
+                 "computed from the family's analytic profile");
+  return bracketed ? 0 : 1;
+}

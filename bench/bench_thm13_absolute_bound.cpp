@@ -1,0 +1,106 @@
+// E3 — Theorem 1.3: the spread time is at most
+// T_abs(G) = min{ t : Σ ⌈Φ(G(p))⌉·ρ̄(p) >= 2n }, where ⌈Φ⌉ is the
+// connectivity indicator. The table compares measured spread against the
+// trajectory crossing of T_abs on families with very different ρ̄ regimes.
+#include <iostream>
+#include <memory>
+
+#include "common/bench_util.h"
+#include "dynamic/absolute_adversary.h"
+#include "dynamic/dynamic_star.h"
+#include "dynamic/simple_networks.h"
+#include "graph/builders.h"
+#include "graph/random_graphs.h"
+
+namespace rumor {
+namespace {
+
+struct Row {
+  std::string family;
+  NodeId n;
+  SampleSet spread;
+  double t_abs;
+};
+
+Row measure(const std::string& family, NodeId n, const NetworkFactory& factory, int trials,
+            double time_limit) {
+  RunnerOptions opt;
+  opt.trials = trials;
+  opt.track_bounds = true;
+  opt.time_limit = time_limit;
+  const auto report = bench::run_all_completed(factory, opt);
+  Row row{family, n, report.spread_time, -1.0};
+  if (report.theorem13_crossing.count() > 0) row.t_abs = report.theorem13_crossing.mean();
+  return row;
+}
+
+}  // namespace
+}  // namespace rumor
+
+int main(int argc, char** argv) {
+  using namespace rumor;
+  const Cli cli(argc, argv);
+  const int trials = static_cast<int>(cli.get_int("trials", 12));
+  const double scale = cli.get_double("scale", 1.0);
+
+  bench::banner("E3", "Theorem 1.3",
+                "async spread time <= T_abs = min{t : sum ceil(Phi)*abs_rho >= 2n} w.h.p.");
+
+  std::vector<Row> rows;
+  const NodeId n = static_cast<NodeId>(512 * scale);
+
+  rows.push_back(measure(
+      "dynamic-star (abs_rho=1)", n + 1,
+      [n](std::uint64_t seed) { return std::make_unique<DynamicStarNetwork>(n, seed); },
+      trials, 1e6));
+
+  rows.push_back(measure(
+      "static-4reg-expander (abs_rho=1/4)", n,
+      [n](std::uint64_t seed) {
+        Rng rng(seed);
+        return std::make_unique<StaticNetwork>(random_connected_regular(rng, n, 4));
+      },
+      trials, 1e6));
+
+  for (double rho : {0.25, 1.0 / 16.0, 1.0 / 32.0}) {
+    rows.push_back(measure(
+        "absolute-adversary rho=" + Table::cell(rho, 4), n,
+        [n, rho](std::uint64_t seed) {
+          return std::make_unique<AbsoluteAdversaryNetwork>(n, rho, seed);
+        },
+        trials, 1e7));
+  }
+
+  // Alternating star/cycle schedule: connectivity holds every step but the
+  // absolute diligence oscillates between 1 and 1/2.
+  rows.push_back(measure(
+      "periodic star/cycle", n,
+      [n](std::uint64_t) {
+        std::vector<Graph> phases;
+        phases.push_back(make_star(n));
+        phases.push_back(make_cycle(n));
+        auto net = std::make_unique<PeriodicNetwork>(std::move(phases), "star-cycle");
+        GraphProfile star_p{1.0, 1.0, 1.0, true, true};
+        GraphProfile cycle_p{1.0 / (n / 2), 1.0, 0.5, true, true};
+        net->set_profiles({star_p, cycle_p});
+        return net;
+      },
+      trials, 1e6));
+
+  Table table({"family", "n", "spread mean±se", "spread max", "T_abs", "T_abs/spread",
+               "holds"});
+  bool all_hold = true;
+  for (const auto& row : rows) {
+    const bool holds = row.t_abs >= 0 && row.spread.max() <= row.t_abs + 1.0;
+    all_hold = all_hold && holds;
+    table.add_row({row.family, Table::cell(static_cast<std::int64_t>(row.n)),
+                   bench::mean_pm(row.spread), Table::cell(row.spread.max()),
+                   Table::cell(row.t_abs), Table::cell(row.t_abs / row.spread.mean(), 3),
+                   holds ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  bench::verdict(all_hold, "measured spread <= T_abs on every family; the bound is tight "
+                           "(constant slack) on the absolute adversary and loose elsewhere");
+  return all_hold ? 0 : 1;
+}

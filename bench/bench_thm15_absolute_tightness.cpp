@@ -1,0 +1,85 @@
+// E4 — Theorem 1.5 / Section 5.1: for every 10/n <= ρ <= 1 the absolutely
+// Θ(ρ)-diligent adversary G(n,ρ) forces spread time Ω(n/ρ), matching the
+// Theorem 1.3 bound T_abs = 2n(Δ+1) up to a constant.
+//
+// The table sweeps ρ at fixed n and n at fixed ρ; the last column shows
+// spread/(n(Δ+1)), which the theorem predicts to be a constant bounded away
+// from 0 (lower bound) and below 2 (upper bound, Theorem 1.3).
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "common/bench_util.h"
+#include "dynamic/absolute_adversary.h"
+#include "stats/regression.h"
+
+int main(int argc, char** argv) {
+  using namespace rumor;
+  const Cli cli(argc, argv);
+  const int trials = static_cast<int>(cli.get_int("trials", 10));
+  const double scale = cli.get_double("scale", 1.0);
+
+  bench::banner("E4", "Theorem 1.5 / Section 5.1",
+                "the absolutely rho-diligent adversary forces spread Theta(n/rho): "
+                "Omega(n/rho) lower bound vs T_abs = 2n(Delta+1) upper bound");
+
+  Table table({"n", "rho", "Delta", "spread mean±se", "n(Delta+1)", "T_abs=2n(D+1)",
+               "spread/(n(D+1))", "T_abs/spread"});
+
+  std::vector<double> inv_rho_axis, spread_axis;  // fixed n, varying rho
+  std::vector<double> n_axis, spread_n_axis;      // fixed rho, varying n
+  bool constants_sane = true;
+
+  auto run_point = [&](NodeId n, double rho) {
+    RunnerOptions opt;
+    opt.trials = trials;
+    opt.time_limit = 1e8;
+    const auto report = bench::run_all_completed(
+        [n, rho](std::uint64_t seed) {
+          return std::make_unique<AbsoluteAdversaryNetwork>(n, rho, seed);
+        },
+        opt);
+    AbsoluteAdversaryNetwork probe(n, rho, 1);
+    const double unit = static_cast<double>(n) * (probe.delta() + 1.0);
+    const double ratio = report.spread_time.mean() / unit;
+    // Θ(n/ρ) with explicit constants: the crossing alone costs (Δ+1)/2 per
+    // freed batch of Θ(1) nodes, and Theorem 1.3 caps at 2n(Δ+1).
+    constants_sane = constants_sane && ratio > 0.005 && ratio < 2.0;
+    table.add_row({Table::cell(static_cast<std::int64_t>(n)), Table::cell(rho, 4),
+                   Table::cell(static_cast<std::int64_t>(probe.delta())),
+                   bench::mean_pm(report.spread_time), Table::cell(unit),
+                   Table::cell(probe.theorem13_bound()), Table::cell(ratio, 3),
+                   Table::cell(probe.theorem13_bound() / report.spread_time.mean(), 3)});
+    return report.spread_time.mean();
+  };
+
+  const NodeId n_fixed = static_cast<NodeId>(384 * scale);
+  for (double rho : {0.5, 0.25, 0.125, 1.0 / 16.0, 1.0 / 32.0}) {
+    const double mean = run_point(n_fixed, rho);
+    AbsoluteAdversaryNetwork probe(n_fixed, rho, 1);
+    inv_rho_axis.push_back(probe.delta() + 1.0);
+    spread_axis.push_back(mean);
+  }
+  for (NodeId n : {static_cast<NodeId>(128 * scale), static_cast<NodeId>(256 * scale),
+                   static_cast<NodeId>(512 * scale)}) {
+    const double mean = run_point(n, 0.125);
+    n_axis.push_back(n);
+    spread_n_axis.push_back(mean);
+  }
+  table.print(std::cout);
+
+  const auto rho_fit = fit_power_law(inv_rho_axis, spread_axis);
+  const auto n_fit = fit_power_law(n_axis, spread_n_axis);
+  std::cout << "\nspread ~ (Delta+1)^" << Table::cell(rho_fit.slope, 3)
+            << " at fixed n (theory: exponent 1, R^2 = " << Table::cell(rho_fit.r_squared, 3)
+            << ")\n";
+  std::cout << "spread ~ n^" << Table::cell(n_fit.slope, 3)
+            << " at fixed rho (theory: exponent 1, R^2 = " << Table::cell(n_fit.r_squared, 3)
+            << ")\n";
+
+  const bool shape_ok = constants_sane && std::abs(rho_fit.slope - 1.0) < 0.35 &&
+                        std::abs(n_fit.slope - 1.0) < 0.35;
+  bench::verdict(shape_ok, "spread time scales as Theta(n/rho) with constants inside "
+                           "[0.005, 2] of n(Delta+1), matching Theorem 1.5 / Theorem 1.3");
+  return shape_ok ? 0 : 1;
+}

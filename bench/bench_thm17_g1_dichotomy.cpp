@@ -1,0 +1,70 @@
+// E6 — Theorem 1.7(i) / Figure 1(a): on the dynamic network G1 (clique with a
+// pendant edge, then two bridged cliques) the synchronous algorithm finishes
+// in Θ(log n) rounds while the asynchronous one needs Ω(n) time — the reverse
+// of the usual "async is as fast as sync" intuition from static graphs.
+//
+// Mechanism: sync round 1 pushes over the pendant edge with probability 1
+// (node n+1's only neighbour is node 1); async clocks miss that window with
+// constant probability, and after the switch the bridge only fires at rate
+// Θ(1/n).
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "common/bench_util.h"
+#include "dynamic/clique_bridge.h"
+#include "stats/regression.h"
+
+int main(int argc, char** argv) {
+  using namespace rumor;
+  const Cli cli(argc, argv);
+  const int trials = static_cast<int>(cli.get_int("trials", 80));
+  const double scale = cli.get_double("scale", 1.0);
+
+  bench::banner("E6", "Theorem 1.7(i), Figure 1(a)",
+                "on G1: Ta = Omega(n) but Ts = Theta(log n) — sync beats async by n/log n");
+
+  // Ta is a mixture: with probability ~e^{-1} the pendant edge misses [0,1)
+  // and the run waits ~n/4 on the bridge; otherwise it finishes in O(log n).
+  // The p90 isolates the slow branch, so it is the clean Ω(n) statistic; the
+  // mean is still Θ(n) but with a small constant (~e^{-1}/4).
+  Table table({"n", "Ta mean±se", "Ta p90", "Ts mean±se", "Ta p90/n", "Ts/log2(n)", "Ta/Ts"});
+  std::vector<double> ns, tas, ta90s, tss;
+
+  for (NodeId n : {static_cast<NodeId>(128 * scale), static_cast<NodeId>(256 * scale),
+                   static_cast<NodeId>(512 * scale), static_cast<NodeId>(1024 * scale)}) {
+    RunnerOptions opt;
+    opt.trials = trials;
+    opt.time_limit = 1e7;
+    opt.engine = EngineKind::async_jump;
+    const auto async_rep = bench::run_all_completed(
+        [n](std::uint64_t) { return std::make_unique<CliqueBridgeNetwork>(n); }, opt);
+    opt.engine = EngineKind::sync_rounds;
+    const auto sync_rep = bench::run_all_completed(
+        [n](std::uint64_t) { return std::make_unique<CliqueBridgeNetwork>(n); }, opt);
+
+    const double ta = async_rep.spread_time.mean();
+    const double ta90 = async_rep.spread_time.quantile(0.9);
+    const double ts = sync_rep.spread_time.mean();
+    table.add_row({Table::cell(static_cast<std::int64_t>(n)),
+                   bench::mean_pm(async_rep.spread_time), Table::cell(ta90),
+                   bench::mean_pm(sync_rep.spread_time), Table::cell(ta90 / n, 3),
+                   Table::cell(ts / std::log2(n), 3), Table::cell(ta / ts, 4)});
+    ns.push_back(n);
+    tas.push_back(ta);
+    ta90s.push_back(ta90);
+    tss.push_back(ts);
+  }
+  table.print(std::cout);
+
+  const auto ta_fit = fit_power_law(ns, ta90s);
+  const auto ts_fit = fit_power_law(ns, tss);
+  std::cout << "\nTa(p90) ~ n^" << Table::cell(ta_fit.slope, 3) << " (theory: 1); Ts ~ n^"
+            << Table::cell(ts_fit.slope, 3) << " (theory: ~0, logarithmic)\n";
+
+  const bool shape_ok =
+      ta_fit.slope > 0.6 && ts_fit.slope < 0.35 && tas.back() > 4 * tss.back();
+  bench::verdict(shape_ok, "Ta grows linearly while Ts stays logarithmic on G1 — the "
+                           "first half of the Theorem 1.7 dichotomy");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,39 @@
+#include "common/bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace rumor::bench {
+
+void banner(const std::string& experiment_id, const std::string& anchor,
+            const std::string& claim) {
+  std::cout << "=== " << experiment_id << " — " << anchor << " ===\n"
+            << "claim: " << claim << "\n\n";
+}
+
+void verdict(bool ok, const std::string& what) {
+  std::cout << "\n[" << (ok ? "SHAPE-OK" : "SHAPE-MISMATCH") << "] " << what << "\n\n";
+}
+
+std::string mean_pm(const SampleSet& s) {
+  if (s.empty()) return "n/a";
+  const double mean = s.mean();
+  const double se = s.count() > 1 ? s.stddev() / std::sqrt(static_cast<double>(s.count())) : 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g±%.2g", mean, se);
+  return buf;
+}
+
+RunnerReport run_all_completed(const NetworkFactory& factory, const RunnerOptions& options) {
+  RunnerReport report = run_trials(factory, options);
+  if (report.completed != report.trials) {
+    std::cerr << "FATAL: only " << report.completed << "/" << report.trials
+              << " trials completed; raise --time-limit\n";
+    std::exit(2);
+  }
+  return report;
+}
+
+}  // namespace rumor::bench

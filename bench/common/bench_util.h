@@ -1,0 +1,34 @@
+// Shared helpers for the experiment binaries.
+//
+// Each bench prints a short header naming the paper anchor it reproduces, one
+// aligned table (one row per parameter point), and a PASS/SHAPE summary line
+// so the outputs read like the rows of the paper's (theorem-shaped)
+// evaluation. All benches run with defaults in seconds; --trials / --scale
+// adjust effort.
+#pragma once
+
+#include <string>
+
+#include "core/runner.h"
+#include "stats/summary.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+namespace rumor::bench {
+
+// Prints the experiment banner: id, paper anchor, and the claim under test.
+void banner(const std::string& experiment_id, const std::string& anchor,
+            const std::string& claim);
+
+// Prints a one-line verdict. `ok` is a shape check, not a strict hypothesis
+// test; the line states what was compared.
+void verdict(bool ok, const std::string& what);
+
+// Formats "mean ± stderr" compactly.
+std::string mean_pm(const SampleSet& s);
+
+// Runs trials and asserts all completed (aborts loudly otherwise: an
+// incomplete run would silently bias a spread-time table).
+RunnerReport run_all_completed(const NetworkFactory& factory, const RunnerOptions& options);
+
+}  // namespace rumor::bench

@@ -1,0 +1,68 @@
+// Live demo of the Theorem 1.7 dichotomy: the same two algorithms, two
+// dynamic networks, opposite winners.
+//
+//   $ ./adversarial_demo [--n 512] [--trials 20]
+#include <iostream>
+#include <memory>
+
+#include "core/runner.h"
+#include "dynamic/clique_bridge.h"
+#include "dynamic/dynamic_star.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace rumor;
+  const Cli cli(argc, argv);
+  const NodeId n = static_cast<NodeId>(cli.get_int("n", 512));
+  const int trials = static_cast<int>(cli.get_int("trials", 20));
+
+  std::cout << "Theorem 1.7: synchronous vs asynchronous rumor spreading cannot be\n"
+               "compared in dynamic networks — each wins by a factor ~n/log n on one\n"
+               "of the two Figure-1 networks.\n\n";
+
+  auto measure = [&](const NetworkFactory& factory, EngineKind engine) {
+    RunnerOptions opt;
+    opt.trials = trials;
+    opt.engine = engine;
+    opt.time_limit = 1e7;
+    opt.round_limit = 10'000'000;
+    return run_trials(factory, opt);
+  };
+
+  Table table({"network", "async Ta (mean)", "sync Ts (mean)", "winner", "factor"});
+
+  {
+    const auto a = measure(
+        [n](std::uint64_t) { return std::make_unique<CliqueBridgeNetwork>(n); },
+        EngineKind::async_jump);
+    const auto s = measure(
+        [n](std::uint64_t) { return std::make_unique<CliqueBridgeNetwork>(n); },
+        EngineKind::sync_rounds);
+    const double ta = a.spread_time.mean(), ts = s.spread_time.mean();
+    table.add_row({"G1 (clique + pendant -> bridged cliques)", Table::cell(ta, 4),
+                   Table::cell(ts, 4), ta < ts ? "async" : "sync",
+                   Table::cell(ta < ts ? ts / ta : ta / ts, 3)});
+  }
+  {
+    const auto a = measure(
+        [n](std::uint64_t seed) { return std::make_unique<DynamicStarNetwork>(n, seed); },
+        EngineKind::async_jump);
+    const auto s = measure(
+        [n](std::uint64_t seed) { return std::make_unique<DynamicStarNetwork>(n, seed); },
+        EngineKind::sync_rounds);
+    const double ta = a.spread_time.mean(), ts = s.spread_time.mean();
+    table.add_row({"G2 (dynamic star, re-seated centre)", Table::cell(ta, 4),
+                   Table::cell(ts, 4), ta < ts ? "async" : "sync",
+                   Table::cell(ta < ts ? ts / ta : ta / ts, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nWhy: on G1 the one synchronous round before the split pushes the rumor\n"
+               "over the pendant edge deterministically, while exponential clocks miss\n"
+               "that window with constant probability and then face a Θ(1/n)-rate\n"
+               "bridge. On G2 the synchronized rounds let the adversary re-seat the\n"
+               "centre before it can relay (one new node per round, Ts = n exactly),\n"
+               "while asynchronous pulls drain the centre within each unit interval.\n";
+  return 0;
+}

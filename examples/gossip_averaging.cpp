@@ -1,0 +1,75 @@
+// Distributed averaging by randomized gossip (Boyd et al. [5]) — the
+// application for which the asynchronous time model of the paper was first
+// introduced. Nodes hold sensor readings; pairwise averaging over the current
+// topology drives every node to the global mean.
+//
+// We compare convergence on a static expander, a dynamic star, and a mobile
+// proximity network, and contrast the averaging time with the rumor spread
+// time on the same networks (averaging needs Θ(log(1/ε)) more mixing).
+//
+//   $ ./gossip_averaging [--n 256] [--epsilon 1e-3]
+#include <iostream>
+#include <memory>
+
+#include "core/averaging.h"
+#include "core/async_engine.h"
+#include "dynamic/dynamic_star.h"
+#include "dynamic/mobile_geometric.h"
+#include "dynamic/simple_networks.h"
+#include "graph/random_graphs.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace rumor;
+  const Cli cli(argc, argv);
+  const NodeId n = static_cast<NodeId>(cli.get_int("n", 256));
+  const double epsilon = cli.get_double("epsilon", 1e-3);
+
+  std::cout << "randomized gossip averaging vs rumor spreading, n = " << n
+            << ", epsilon = " << epsilon << "\n\n";
+
+  // Sensor readings: a ramp plus one outlier (a "hot" sensor).
+  std::vector<double> readings(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) readings[static_cast<std::size_t>(u)] = u % 10;
+  readings[0] = 1000.0;
+
+  Table table({"network", "avg time (rms<=eps)", "contacts", "rumor spread time"});
+
+  auto run_pair = [&](const std::string& name, DynamicNetwork& avg_net,
+                      DynamicNetwork& rumor_net) {
+    Rng rng_avg(11), rng_rumor(12);
+    AveragingOptions aopt;
+    aopt.epsilon = epsilon;
+    aopt.time_limit = 1e6;
+    const auto avg = run_async_averaging(avg_net, readings, rng_avg, aopt);
+    AsyncOptions sopt;
+    sopt.time_limit = 1e6;
+    const auto rumor = run_async_jump(rumor_net, rumor_net.suggested_source(), rng_rumor, sopt);
+    table.add_row({name,
+                   avg.converged ? Table::cell(avg.convergence_time, 4) : ">limit",
+                   Table::cell(avg.total_contacts),
+                   rumor.completed ? Table::cell(rumor.spread_time, 4) : ">limit"});
+  };
+
+  {
+    Rng build(3);
+    Graph g = random_connected_regular(build, n, 4);
+    StaticNetwork a(g), b(g);
+    run_pair("static 4-regular expander", a, b);
+  }
+  {
+    DynamicStarNetwork a(n - 1, 5), b(n - 1, 5);
+    run_pair("dynamic star (G2)", a, b);
+  }
+  {
+    MobileGeometricNetwork a(n, 0.15, 0.02, 7), b(n, 0.15, 0.02, 7);
+    run_pair("mobile proximity (r=0.15)", a, b);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nAveraging keeps mixing after everyone has 'heard' the value: the gap\n"
+               "between the two columns is the extra Θ(log(1/eps)) mixing the quadratic\n"
+               "error needs, scaled by the network's bottleneck (conductance).\n";
+  return 0;
+}

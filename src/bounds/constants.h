@@ -1,0 +1,29 @@
+// The explicit constants of the paper's theorems.
+#pragma once
+
+#include <cmath>
+
+#include "graph/graph.h"
+
+namespace rumor {
+
+// c0 = 1/2 − 1/e (Theorem 1.1; Lemma 3.1 writes it 1 − 1/2 − 1/e).
+inline double theorem_c0() { return 0.5 - std::exp(-1.0); }
+
+// C = (10c + 20)/c0 for the w.h.p. exponent c >= 1 (Theorem 1.1).
+inline double theorem_C(double c) { return (10.0 * c + 20.0) / theorem_c0(); }
+
+// "log n" in the bound statements is the natural logarithm.
+inline double paper_log(NodeId n) { return std::log(static_cast<double>(n)); }
+
+// Theorem 1.1 threshold: Σ Φ(G(t))·ρ(t) must exceed C(c)·log n.
+inline double theorem11_threshold(NodeId n, double c) { return theorem_C(c) * paper_log(n); }
+
+// Theorem 1.3 threshold: Σ ⌈Φ(G(t))⌉·ρ̄(t) must exceed 2n.
+inline double theorem13_threshold(NodeId n) { return 2.0 * static_cast<double>(n); }
+
+// Lemma 2.2: Pr[Poisson(r) <= r/2] <= exp(r·(1/e + 1/2 − 1)).
+inline double lemma22_exponent() { return std::exp(-1.0) + 0.5 - 1.0; }
+inline double lemma22_bound(double r) { return std::exp(r * lemma22_exponent()); }
+
+}  // namespace rumor

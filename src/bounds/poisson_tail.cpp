@@ -1,0 +1,28 @@
+#include "bounds/poisson_tail.h"
+
+#include <cmath>
+
+#include "bounds/constants.h"
+#include "stats/distributions.h"
+#include "support/contracts.h"
+
+namespace rumor {
+
+double poisson_lower_half_tail(double r) {
+  DG_REQUIRE(r >= 0.0, "Poisson rate must be non-negative");
+  return poisson_cdf(r, static_cast<std::int64_t>(std::floor(r / 2.0)));
+}
+
+double lemma22_tail_bound(double r) { return lemma22_bound(r); }
+
+double chernoff_upper(double mu, double delta) {
+  DG_REQUIRE(mu >= 0.0 && delta >= 0.0 && delta <= 1.0, "invalid Chernoff parameters");
+  return std::exp(-delta * delta * mu / 2.0);
+}
+
+double chernoff_lower(double mu, double delta) {
+  DG_REQUIRE(mu >= 0.0 && delta >= 0.0 && delta <= 1.0, "invalid Chernoff parameters");
+  return std::exp(-delta * delta * mu / 3.0);
+}
+
+}  // namespace rumor

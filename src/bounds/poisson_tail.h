@@ -1,0 +1,20 @@
+// Lemma 2.2 and the auxiliary concentration facts used by the analysis.
+#pragma once
+
+#include <cstdint>
+
+namespace rumor {
+
+// Exact Pr[Poisson(r) <= floor(r/2)] (the quantity Lemma 2.2 bounds).
+double poisson_lower_half_tail(double r);
+
+// The Lemma 2.2 bound e^{r(1/e + 1/2 - 1)} — re-exported from constants.h via
+// this header for discoverability next to the exact tail.
+double lemma22_tail_bound(double r);
+
+// Chernoff bounds of Theorem A.1 for X ~ sum of independent 0/1 variables
+// with mean mu: upper tail Pr[X >= (1+d)mu] and lower tail Pr[X <= (1-d)mu].
+double chernoff_upper(double mu, double delta);
+double chernoff_lower(double mu, double delta);
+
+}  // namespace rumor

@@ -1,0 +1,106 @@
+#include "bounds/theorem_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+std::int64_t theorem11_time(std::span<const GraphProfile> profiles, NodeId n, double c) {
+  const double threshold = theorem11_threshold(n, c);
+  double sum = 0.0;
+  for (std::size_t t = 0; t < profiles.size(); ++t) {
+    sum += profiles[t].phi_rho();
+    if (sum >= threshold) return static_cast<std::int64_t>(t);
+  }
+  return kBoundNotReached;
+}
+
+std::int64_t theorem13_time(std::span<const GraphProfile> profiles, NodeId n) {
+  const double threshold = theorem13_threshold(n);
+  double sum = 0.0;
+  for (std::size_t t = 0; t < profiles.size(); ++t) {
+    sum += profiles[t].ceil_phi_abs_rho();
+    if (sum >= threshold) return static_cast<std::int64_t>(t);
+  }
+  return kBoundNotReached;
+}
+
+std::int64_t theorem11_time(const std::function<GraphProfile(std::int64_t)>& profile_at,
+                            NodeId n, double c, std::int64_t t_max) {
+  DG_REQUIRE(t_max >= 0, "t_max must be non-negative");
+  const double threshold = theorem11_threshold(n, c);
+  double sum = 0.0;
+  for (std::int64_t t = 0; t <= t_max; ++t) {
+    sum += profile_at(t).phi_rho();
+    if (sum >= threshold) return t;
+  }
+  return kBoundNotReached;
+}
+
+std::int64_t theorem13_time(const std::function<GraphProfile(std::int64_t)>& profile_at,
+                            NodeId n, std::int64_t t_max) {
+  DG_REQUIRE(t_max >= 0, "t_max must be non-negative");
+  const double threshold = theorem13_threshold(n);
+  double sum = 0.0;
+  for (std::int64_t t = 0; t <= t_max; ++t) {
+    sum += profile_at(t).ceil_phi_abs_rho();
+    if (sum >= threshold) return t;
+  }
+  return kBoundNotReached;
+}
+
+namespace {
+
+std::int64_t crossing_with_tail(std::span<const GraphProfile> prefix, double tail_rate,
+                                double threshold,
+                                double (*summand)(const GraphProfile&)) {
+  double sum = 0.0;
+  for (std::size_t t = 0; t < prefix.size(); ++t) {
+    sum += summand(prefix[t]);
+    if (sum >= threshold) return static_cast<std::int64_t>(t);
+  }
+  if (tail_rate <= 0.0) return kBoundNotReached;
+  const double remaining = threshold - sum;
+  const auto extra = static_cast<std::int64_t>(std::ceil(remaining / tail_rate));
+  return static_cast<std::int64_t>(prefix.size()) - 1 + std::max<std::int64_t>(extra, 1);
+}
+
+}  // namespace
+
+std::int64_t theorem11_time_with_tail(std::span<const GraphProfile> prefix,
+                                      const GraphProfile& tail, NodeId n, double c) {
+  return crossing_with_tail(prefix, tail.phi_rho(), theorem11_threshold(n, c),
+                            [](const GraphProfile& p) { return p.phi_rho(); });
+}
+
+std::int64_t theorem13_time_with_tail(std::span<const GraphProfile> prefix,
+                                      const GraphProfile& tail, NodeId n) {
+  return crossing_with_tail(prefix, tail.ceil_phi_abs_rho(), theorem13_threshold(n),
+                            [](const GraphProfile& p) { return p.ceil_phi_abs_rho(); });
+}
+
+std::int64_t corollary16_time(std::span<const GraphProfile> profiles, NodeId n, double c) {
+  const std::int64_t t11 = theorem11_time(profiles, n, c);
+  const std::int64_t t13 = theorem13_time(profiles, n);
+  if (t11 == kBoundNotReached) return t13;
+  if (t13 == kBoundNotReached) return t11;
+  return std::min(t11, t13);
+}
+
+BoundTracker::BoundTracker(NodeId n, double c)
+    : t11_threshold_(theorem11_threshold(n, c)), t13_threshold_(theorem13_threshold(n)) {
+  DG_REQUIRE(n >= 2, "tracker needs at least two nodes");
+  DG_REQUIRE(c >= 1.0, "the w.h.p. exponent c must be >= 1");
+}
+
+void BoundTracker::on_step(const GraphProfile& profile) {
+  phi_rho_sum_ += profile.phi_rho();
+  abs_sum_ += profile.ceil_phi_abs_rho();
+  if (t11_ == kBoundNotReached && phi_rho_sum_ >= t11_threshold_) t11_ = steps_;
+  if (t13_ == kBoundNotReached && abs_sum_ >= t13_threshold_) t13_ = steps_;
+  ++steps_;
+}
+
+}  // namespace rumor

@@ -1,0 +1,80 @@
+// Offline evaluators for the paper's upper bounds over a profile sequence.
+//
+//   T(G,c)  = min{ t : Σ_{p=0..t} Φ(G(p))·ρ(p)      >= C(c)·log n }   (Thm 1.1)
+//   T_abs(G)= min{ t : Σ_{p=0..t} ⌈Φ(G(p))⌉·ρ̄(p)   >= 2n }           (Thm 1.3)
+//   Corollary 1.6: min{T(G,c), T_abs(G)}.
+//
+// Profiles can come from a recorded trajectory (BoundTracker), an explicit
+// list, or a generator callback for families with closed forms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "bounds/constants.h"
+#include "graph/profile.h"
+
+namespace rumor {
+
+inline constexpr std::int64_t kBoundNotReached = -1;
+
+// First index t with Σ_{p<=t} profile[p].phi_rho() >= threshold; -1 if never.
+std::int64_t theorem11_time(std::span<const GraphProfile> profiles, NodeId n, double c);
+
+// First index t with Σ_{p<=t} profile[p].ceil_phi_abs_rho() >= 2n; -1 if never.
+std::int64_t theorem13_time(std::span<const GraphProfile> profiles, NodeId n);
+
+// Generator variants for families whose per-step profile is a closed form.
+// The generator is invoked with t = 0, 1, ... until the threshold crosses or
+// t_max is exhausted (returns kBoundNotReached then).
+std::int64_t theorem11_time(const std::function<GraphProfile(std::int64_t)>& profile_at,
+                            NodeId n, double c, std::int64_t t_max);
+std::int64_t theorem13_time(const std::function<GraphProfile(std::int64_t)>& profile_at,
+                            NodeId n, std::int64_t t_max);
+
+// Corollary 1.6: the better of the two bounds (-1 only if both unreachable).
+std::int64_t corollary16_time(std::span<const GraphProfile> profiles, NodeId n, double c);
+
+// Closed forms for eventually-static dynamic networks: the profile sequence is
+// `prefix` for t < |prefix| and `tail` forever after. Returns the exact
+// crossing step without iterating (kBoundNotReached if the tail contributes
+// nothing and the prefix never crosses).
+std::int64_t theorem11_time_with_tail(std::span<const GraphProfile> prefix,
+                                      const GraphProfile& tail, NodeId n, double c);
+std::int64_t theorem13_time_with_tail(std::span<const GraphProfile> prefix,
+                                      const GraphProfile& tail, NodeId n);
+
+// Streaming tracker: engines feed the profile of each integer step during a
+// run, and the tracker records when each bound's threshold was crossed — on
+// the *same trajectory* the simulation took, which is exactly how the
+// adaptive-adversary bounds must be read.
+class BoundTracker {
+ public:
+  BoundTracker(NodeId n, double c = 1.0);
+
+  // Called once per integer step t = 0, 1, 2, ... with that step's profile.
+  void on_step(const GraphProfile& profile);
+
+  std::int64_t steps() const { return steps_; }
+  double phi_rho_sum() const { return phi_rho_sum_; }
+  double abs_sum() const { return abs_sum_; }
+
+  // Crossing step indices (kBoundNotReached while below threshold).
+  std::int64_t theorem11_crossing() const { return t11_; }
+  std::int64_t theorem13_crossing() const { return t13_; }
+
+  double theorem11_threshold_value() const { return t11_threshold_; }
+  double theorem13_threshold_value() const { return t13_threshold_; }
+
+ private:
+  std::int64_t steps_ = 0;
+  double phi_rho_sum_ = 0.0;
+  double abs_sum_ = 0.0;
+  double t11_threshold_ = 0.0;
+  double t13_threshold_ = 0.0;
+  std::int64_t t11_ = kBoundNotReached;
+  std::int64_t t13_ = kBoundNotReached;
+};
+
+}  // namespace rumor

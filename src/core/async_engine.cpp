@@ -1,0 +1,253 @@
+#include "core/async_engine.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "stats/distributions.h"
+#include "stats/fenwick.h"
+#include "support/contracts.h"
+
+namespace rumor {
+
+namespace {
+
+// Rate contribution for informing the uninformed endpoint x of a crossing
+// edge whose informed endpoint is y (degrees in the current graph).
+inline double edge_weight(Protocol protocol, double beta, double deg_uninformed,
+                          double deg_informed) {
+  switch (protocol) {
+    case Protocol::push:
+      return beta / deg_informed;
+    case Protocol::pull:
+      return beta / deg_uninformed;
+    case Protocol::push_pull:
+      return beta / deg_informed + beta / deg_uninformed;
+  }
+  return 0.0;
+}
+
+struct RunState {
+  std::vector<std::uint8_t> informed;
+  std::int64_t informed_count = 0;
+
+  void init(NodeId n, NodeId source, const std::vector<NodeId>& extras) {
+    informed.assign(static_cast<std::size_t>(n), 0);
+    informed[static_cast<std::size_t>(source)] = 1;
+    informed_count = 1;
+    for (NodeId u : extras) {
+      DG_REQUIRE(u >= 0 && u < n, "extra source out of range");
+      if (informed[static_cast<std::size_t>(u)] == 0) {
+        informed[static_cast<std::size_t>(u)] = 1;
+        ++informed_count;
+      }
+    }
+  }
+  bool is_informed(NodeId u) const { return informed[static_cast<std::size_t>(u)] != 0; }
+  void inform(NodeId u) {
+    DG_ASSERT(!is_informed(u), "node informed twice");
+    informed[static_cast<std::size_t>(u)] = 1;
+    ++informed_count;
+  }
+};
+
+}  // namespace
+
+SpreadResult run_async_jump(DynamicNetwork& net, NodeId source, Rng& rng,
+                            const AsyncOptions& options) {
+  const NodeId n = net.node_count();
+  DG_REQUIRE(n >= 1, "network must have nodes");
+  DG_REQUIRE(source >= 0 && source < n, "source out of range");
+  DG_REQUIRE(options.clock_rate > 0.0, "clock rate must be positive");
+  DG_REQUIRE(options.time_limit > 0.0, "time limit must be positive");
+  DG_REQUIRE(options.transmission_failure_prob >= 0.0 &&
+                 options.transmission_failure_prob < 1.0,
+             "failure probability must lie in [0, 1)");
+
+  SpreadResult result;
+  RunState state;
+  state.init(n, source, options.extra_sources);
+  const InformedView view(&state.informed, &state.informed_count);
+
+  if (options.record_trace) result.trace.push_back({0.0, state.informed_count});
+  if (n == 1) {
+    result.completed = true;
+    result.informed_count = 1;
+    return result;
+  }
+
+  std::int64_t t_step = 0;
+  const Graph* graph = &net.graph_at(0, view);
+  std::uint64_t version = graph->version();
+  if (options.bound_tracker != nullptr) options.bound_tracker->on_step(net.current_profile());
+
+  FenwickTree rates(static_cast<std::size_t>(n));
+  // Lossy contacts thin every informing Poisson stream by (1 - p): exact.
+  const double beta = options.clock_rate * (1.0 - options.transmission_failure_prob);
+
+  // Rebuilds r(v) for every uninformed v by one pass over the edges.
+  auto rebuild_rates = [&]() {
+    std::vector<double> r(static_cast<std::size_t>(n), 0.0);
+    for (const Edge& e : graph->edges()) {
+      const bool iu = state.is_informed(e.u);
+      const bool iv = state.is_informed(e.v);
+      if (iu == iv) continue;
+      const NodeId uninformed = iu ? e.v : e.u;
+      const NodeId informed = iu ? e.u : e.v;
+      r[static_cast<std::size_t>(uninformed)] +=
+          edge_weight(options.protocol, beta, graph->degree(uninformed), graph->degree(informed));
+    }
+    rates.assign(r);
+  };
+  rebuild_rates();
+
+  auto inform_node = [&](NodeId v) {
+    state.inform(v);
+    ++result.informative_contacts;
+    rates.set(static_cast<std::size_t>(v), 0.0);
+    const double dv = graph->degree(v);
+    for (NodeId w : graph->neighbors(v)) {
+      if (state.is_informed(w)) continue;
+      rates.add(static_cast<std::size_t>(w),
+                edge_weight(options.protocol, beta, graph->degree(w), dv));
+    }
+  };
+
+  double tau = 0.0;
+  while (state.informed_count < n && tau < options.time_limit) {
+    const double boundary = static_cast<double>(t_step) + 1.0;
+    const double lambda = rates.total();
+
+    double next_event = std::numeric_limits<double>::infinity();
+    if (lambda > 0.0) next_event = tau + sample_exponential(rng, lambda);
+
+    if (next_event < boundary && next_event <= options.time_limit) {
+      tau = next_event;
+      const NodeId v =
+          static_cast<NodeId>(rates.sample(rng.uniform() * lambda));
+      inform_node(v);
+      if (options.record_trace) result.trace.push_back({tau, state.informed_count});
+      continue;
+    }
+
+    // Advance to the next integer boundary; the adversary may swap the graph.
+    // Memorylessness makes discarding the in-flight exponential exact.
+    tau = boundary;
+    if (tau >= options.time_limit) break;
+    ++t_step;
+    const Graph* next = &net.graph_at(t_step, view);
+    if (next->version() != version) {
+      graph = next;
+      version = next->version();
+      ++result.graph_changes;
+      rebuild_rates();
+    }
+    if (options.bound_tracker != nullptr) options.bound_tracker->on_step(net.current_profile());
+  }
+
+  result.informed_count = state.informed_count;
+  result.informed_flags = std::move(state.informed);
+  result.completed = state.informed_count == n;
+  result.spread_time = result.completed ? tau : options.time_limit;
+  if (options.bound_tracker != nullptr) {
+    result.theorem11_crossing = options.bound_tracker->theorem11_crossing();
+    result.theorem13_crossing = options.bound_tracker->theorem13_crossing();
+    result.phi_rho_sum = options.bound_tracker->phi_rho_sum();
+    result.abs_rho_sum = options.bound_tracker->abs_sum();
+  }
+  return result;
+}
+
+SpreadResult run_async_tick(DynamicNetwork& net, NodeId source, Rng& rng,
+                            const AsyncOptions& options) {
+  const NodeId n = net.node_count();
+  DG_REQUIRE(n >= 1, "network must have nodes");
+  DG_REQUIRE(source >= 0 && source < n, "source out of range");
+  DG_REQUIRE(options.clock_rate > 0.0, "clock rate must be positive");
+  DG_REQUIRE(options.time_limit > 0.0, "time limit must be positive");
+  DG_REQUIRE(options.transmission_failure_prob >= 0.0 &&
+                 options.transmission_failure_prob < 1.0,
+             "failure probability must lie in [0, 1)");
+
+  SpreadResult result;
+  RunState state;
+  state.init(n, source, options.extra_sources);
+  const InformedView view(&state.informed, &state.informed_count);
+
+  if (options.record_trace) result.trace.push_back({0.0, state.informed_count});
+  if (n == 1) {
+    result.completed = true;
+    result.informed_count = 1;
+    return result;
+  }
+
+  std::int64_t t_step = 0;
+  const Graph* graph = &net.graph_at(0, view);
+  std::uint64_t version = graph->version();
+  if (options.bound_tracker != nullptr) options.bound_tracker->on_step(net.current_profile());
+
+  // Superposition: the n independent rate-β clocks tick as one rate-nβ
+  // Poisson process whose marks are uniform over nodes.
+  const double total_rate = static_cast<double>(n) * options.clock_rate;
+
+  double tau = 0.0;
+  while (state.informed_count < n && tau < options.time_limit) {
+    const double next_tick = tau + sample_exponential(rng, total_rate);
+
+    // Cross all integer boundaries before the tick.
+    while (static_cast<double>(t_step) + 1.0 <= next_tick) {
+      ++t_step;
+      if (static_cast<double>(t_step) > options.time_limit) break;
+      const Graph* next = &net.graph_at(t_step, view);
+      if (next->version() != version) {
+        graph = next;
+        version = next->version();
+        ++result.graph_changes;
+      }
+      if (options.bound_tracker != nullptr)
+        options.bound_tracker->on_step(net.current_profile());
+    }
+    tau = next_tick;
+    if (tau >= options.time_limit) break;
+
+    const NodeId u = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    const auto neighbors = graph->neighbors(u);
+    if (neighbors.empty()) continue;  // isolated node: the call goes nowhere
+    const NodeId v = neighbors[rng.below(neighbors.size())];
+    ++result.total_contacts;
+    if (options.transmission_failure_prob > 0.0 &&
+        rng.flip(options.transmission_failure_prob)) {
+      continue;  // the contact happened but the exchange was lost
+    }
+
+    const bool iu = state.is_informed(u);
+    const bool iv = state.is_informed(v);
+    const bool do_push =
+        options.protocol == Protocol::push || options.protocol == Protocol::push_pull;
+    const bool do_pull =
+        options.protocol == Protocol::pull || options.protocol == Protocol::push_pull;
+    if (do_push && iu && !iv) {
+      state.inform(v);
+      ++result.informative_contacts;
+      if (options.record_trace) result.trace.push_back({tau, state.informed_count});
+    } else if (do_pull && iv && !iu) {
+      state.inform(u);
+      ++result.informative_contacts;
+      if (options.record_trace) result.trace.push_back({tau, state.informed_count});
+    }
+  }
+
+  result.informed_count = state.informed_count;
+  result.informed_flags = std::move(state.informed);
+  result.completed = state.informed_count == n;
+  result.spread_time = result.completed ? tau : options.time_limit;
+  if (options.bound_tracker != nullptr) {
+    result.theorem11_crossing = options.bound_tracker->theorem11_crossing();
+    result.theorem13_crossing = options.bound_tracker->theorem13_crossing();
+    result.phi_rho_sum = options.bound_tracker->phi_rho_sum();
+    result.abs_rho_sum = options.bound_tracker->abs_sum();
+  }
+  return result;
+}
+
+}  // namespace rumor

@@ -1,0 +1,88 @@
+#include "core/averaging.h"
+
+#include <cmath>
+
+#include "stats/distributions.h"
+#include "support/contracts.h"
+
+namespace rumor {
+
+AveragingResult run_async_averaging(DynamicNetwork& net, const std::vector<double>& initial,
+                                    Rng& rng, const AveragingOptions& options) {
+  const NodeId n = net.node_count();
+  DG_REQUIRE(n >= 1, "network must have nodes");
+  DG_REQUIRE(initial.size() == static_cast<std::size_t>(n),
+             "one initial value per node required");
+  DG_REQUIRE(options.clock_rate > 0.0, "clock rate must be positive");
+  DG_REQUIRE(options.epsilon > 0.0, "epsilon must be positive");
+
+  AveragingResult result;
+  result.values = initial;
+
+  double mean = 0.0;
+  for (double x : initial) mean += x;
+  mean /= static_cast<double>(n);
+  result.mean = mean;
+
+  // Quadratic deviation S = Σ (x_u − x̄)², maintained in O(1) per contact.
+  double s = 0.0;
+  for (double x : initial) s += (x - mean) * (x - mean);
+  auto rms = [&]() { return std::sqrt(std::max(s, 0.0) / static_cast<double>(n)); };
+
+  // The averaging process never informs the network adaptively; expose an
+  // empty informed view for the DynamicNetwork interface.
+  std::vector<std::uint8_t> flags(static_cast<std::size_t>(n), 0);
+  std::int64_t count = 0;
+  const InformedView view(&flags, &count);
+
+  std::int64_t t_step = 0;
+  const Graph* graph = &net.graph_at(0, view);
+  std::uint64_t version = graph->version();
+
+  const double total_rate = static_cast<double>(n) * options.clock_rate;
+  double tau = 0.0;
+  if (options.record_trace) result.trace.push_back({0.0, rms()});
+
+  while (rms() > options.epsilon && tau < options.time_limit) {
+    const double next_tick = tau + sample_exponential(rng, total_rate);
+    while (static_cast<double>(t_step) + 1.0 <= next_tick) {
+      ++t_step;
+      if (static_cast<double>(t_step) > options.time_limit) break;
+      const Graph* next = &net.graph_at(t_step, view);
+      if (next->version() != version) {
+        graph = next;
+        version = next->version();
+      }
+    }
+    tau = next_tick;
+    if (tau >= options.time_limit) break;
+
+    const NodeId u = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    const auto neighbors = graph->neighbors(u);
+    if (neighbors.empty()) continue;
+    const NodeId v = neighbors[rng.below(neighbors.size())];
+    ++result.total_contacts;
+
+    double& xu = result.values[static_cast<std::size_t>(u)];
+    double& xv = result.values[static_cast<std::size_t>(v)];
+    const double du = xu - mean;
+    const double dv = xv - mean;
+    const double avg = (xu + xv) / 2.0;
+    const double da = avg - mean;
+    s += 2.0 * da * da - du * du - dv * dv;  // never increases (AM-QM)
+    xu = avg;
+    xv = avg;
+
+    if (options.record_trace && result.total_contacts % n == 0) {
+      result.trace.push_back({tau, rms()});
+    }
+  }
+
+  result.final_rms = rms();
+  result.converged = result.final_rms <= options.epsilon;
+  result.convergence_time = result.converged ? tau : options.time_limit;
+  if (options.record_trace) result.trace.push_back({tau, result.final_rms});
+  return result;
+}
+
+}  // namespace rumor

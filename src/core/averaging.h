@@ -1,0 +1,42 @@
+// Randomized gossip averaging (Boyd, Ghosh, Prabhakar, Shah [5]) — the
+// algorithm for which the asynchronous time model of this paper was first
+// proposed.
+//
+// Every node u holds a value x_u and a rate-β exponential clock; on a tick u
+// contacts a uniformly random neighbour v and both replace their values by
+// the average (x_u + x_v)/2. The global mean is invariant and the quadratic
+// spread Σ (x_u − x̄)² is non-increasing, so convergence is measured by the
+// RMS deviation from the mean. Runs on any DynamicNetwork, like the rumor
+// engines.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dynamic/dynamic_network.h"
+#include "stats/rng.h"
+
+namespace rumor {
+
+struct AveragingOptions {
+  double clock_rate = 1.0;
+  double epsilon = 1e-3;     // stop when rms deviation <= epsilon
+  double time_limit = 1e9;   // hard stop
+  bool record_trace = false; // (time, rms deviation) per contact batch
+};
+
+struct AveragingResult {
+  double convergence_time = 0.0;
+  bool converged = false;
+  std::int64_t total_contacts = 0;
+  double final_rms = 0.0;
+  double mean = 0.0;  // invariant under pairwise averaging
+  std::vector<double> values;
+  std::vector<std::pair<double, double>> trace;
+};
+
+AveragingResult run_async_averaging(DynamicNetwork& net, const std::vector<double>& initial,
+                                    Rng& rng, const AveragingOptions& options = {});
+
+}  // namespace rumor

@@ -1,0 +1,31 @@
+// Rumor-exchange protocols.
+//
+// A contact is always directed: node u's clock ticks (or u's synchronous turn
+// comes up) and u calls a uniformly random neighbour v.
+//   push:      u tells v the rumor if u knows it;
+//   pull:      u asks v and learns the rumor if v knows it;
+//   push_pull: both (the paper's algorithm, Definition 1).
+//
+// The asynchronous "2-push" analysis device of Section 4 is push with
+// clock_rate = 2.
+#pragma once
+
+#include <string>
+
+namespace rumor {
+
+enum class Protocol { push, pull, push_pull };
+
+inline std::string to_string(Protocol p) {
+  switch (p) {
+    case Protocol::push:
+      return "push";
+    case Protocol::pull:
+      return "pull";
+    case Protocol::push_pull:
+      return "push-pull";
+  }
+  return "?";
+}
+
+}  // namespace rumor

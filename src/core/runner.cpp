@@ -1,0 +1,149 @@
+#include "core/runner.h"
+
+#include <thread>
+#include <vector>
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+std::string to_string(EngineKind k) {
+  switch (k) {
+    case EngineKind::async_jump:
+      return "async-jump";
+    case EngineKind::async_tick:
+      return "async-tick";
+    case EngineKind::sync_rounds:
+      return "sync";
+    case EngineKind::flooding:
+      return "flooding";
+  }
+  return "?";
+}
+
+namespace {
+
+// Executes one trial end to end (engine run + bound-crossing continuation).
+SpreadResult run_one_trial(const NetworkFactory& factory, const RunnerOptions& options,
+                           std::uint64_t net_seed, std::uint64_t engine_seed) {
+  auto net = factory(net_seed);
+  DG_REQUIRE(net != nullptr, "factory returned a null network");
+  Rng rng(engine_seed);
+
+  const NodeId source = options.source >= 0 ? options.source : net->suggested_source();
+
+  std::unique_ptr<BoundTracker> tracker;
+  if (options.track_bounds) {
+    tracker = std::make_unique<BoundTracker>(net->node_count(), options.bound_c);
+  }
+
+  SpreadResult result;
+  switch (options.engine) {
+    case EngineKind::async_jump:
+    case EngineKind::async_tick: {
+      AsyncOptions async;
+      async.protocol = options.protocol;
+      async.clock_rate = options.clock_rate;
+      async.time_limit = options.time_limit;
+      async.bound_tracker = tracker.get();
+      result = options.engine == EngineKind::async_jump
+                   ? run_async_jump(*net, source, rng, async)
+                   : run_async_tick(*net, source, rng, async);
+      break;
+    }
+    case EngineKind::sync_rounds: {
+      SyncOptions sync;
+      sync.protocol = options.protocol;
+      sync.round_limit = options.round_limit;
+      sync.bound_tracker = tracker.get();
+      result = run_sync(*net, source, rng, sync);
+      break;
+    }
+    case EngineKind::flooding: {
+      FloodingOptions flood;
+      flood.round_limit = options.round_limit;
+      result = run_flooding(*net, source, flood);
+      break;
+    }
+  }
+
+  // When spreading finished before a threshold crossed, continue the
+  // trajectory (everyone informed; adaptive families freeze or rotate) to
+  // find where the paper's bound would have predicted completion.
+  if (tracker != nullptr && result.completed &&
+      (tracker->theorem11_crossing() < 0 || tracker->theorem13_crossing() < 0)) {
+    const NodeId n = net->node_count();
+    std::vector<std::uint8_t> all(static_cast<std::size_t>(n), 1);
+    std::int64_t count = n;
+    const InformedView done(&all, &count);
+    std::int64_t t = tracker->steps();
+    const std::int64_t cap = t + options.bound_continuation_cap;
+    while ((tracker->theorem11_crossing() < 0 || tracker->theorem13_crossing() < 0) &&
+           t < cap) {
+      net->graph_at(t, done);
+      tracker->on_step(net->current_profile());
+      ++t;
+    }
+    result.theorem11_crossing = tracker->theorem11_crossing();
+    result.theorem13_crossing = tracker->theorem13_crossing();
+  }
+  return result;
+}
+
+}  // namespace
+
+RunnerReport run_trials(const NetworkFactory& factory, const RunnerOptions& options) {
+  DG_REQUIRE(options.trials > 0, "need at least one trial");
+  DG_REQUIRE(options.threads >= 1, "need at least one worker thread");
+
+  // Derive per-trial seeds up front so the schedule is identical whether the
+  // trials run serially or across workers.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> seeds;
+  seeds.reserve(static_cast<std::size_t>(options.trials));
+  std::uint64_t seed_state = options.seed;
+  for (int trial = 0; trial < options.trials; ++trial) {
+    const std::uint64_t net_seed = splitmix64(seed_state);
+    const std::uint64_t engine_seed = splitmix64(seed_state);
+    seeds.emplace_back(net_seed, engine_seed);
+  }
+
+  std::vector<SpreadResult> results(static_cast<std::size_t>(options.trials));
+  if (options.threads == 1) {
+    for (int trial = 0; trial < options.trials; ++trial) {
+      results[static_cast<std::size_t>(trial)] =
+          run_one_trial(factory, options, seeds[static_cast<std::size_t>(trial)].first,
+                        seeds[static_cast<std::size_t>(trial)].second);
+    }
+  } else {
+    const int workers = std::min(options.threads, options.trials);
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w]() {
+        for (int trial = w; trial < options.trials; trial += workers) {
+          results[static_cast<std::size_t>(trial)] =
+              run_one_trial(factory, options, seeds[static_cast<std::size_t>(trial)].first,
+                            seeds[static_cast<std::size_t>(trial)].second);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  RunnerReport report;
+  report.trials = options.trials;
+  for (const SpreadResult& result : results) {
+    if (result.completed) {
+      ++report.completed;
+      report.spread_time.add(result.spread_time);
+      report.informative_contacts.add(static_cast<double>(result.informative_contacts));
+    }
+    if (result.theorem11_crossing >= 0)
+      report.theorem11_crossing.add(static_cast<double>(result.theorem11_crossing));
+    if (result.theorem13_crossing >= 0)
+      report.theorem13_crossing.add(static_cast<double>(result.theorem13_crossing));
+  }
+  return report;
+}
+
+}  // namespace rumor

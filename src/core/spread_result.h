@@ -1,0 +1,43 @@
+// Result of one simulated rumor-spreading run.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rumor {
+
+struct SpreadResult {
+  // First time every node is informed: continuous time for the asynchronous
+  // engines, number of rounds for the synchronous/flooding engines. When the
+  // run hit its limit first, this is the limit and `completed` is false.
+  double spread_time = 0.0;
+  bool completed = false;
+
+  std::int64_t informed_count = 0;
+
+  // Contacts that transmitted the rumor to a previously uninformed node.
+  std::int64_t informative_contacts = 0;
+  // All contacts (tick and synchronous engines; the jump engine only ever
+  // simulates informative ones and reports 0 here).
+  std::int64_t total_contacts = 0;
+
+  // How many times the exposed topology changed across integer steps.
+  std::int64_t graph_changes = 0;
+
+  // (time, informed count) after every new infection; filled when
+  // record_trace is set.
+  std::vector<std::pair<double, std::int64_t>> trace;
+
+  // Final informed indicator per node (1 = informed), always filled.
+  std::vector<std::uint8_t> informed_flags;
+
+  // Trajectory bound-crossing data; populated when a BoundTracker was
+  // attached to the run.
+  std::int64_t theorem11_crossing = -1;
+  std::int64_t theorem13_crossing = -1;
+  double phi_rho_sum = 0.0;
+  double abs_rho_sum = 0.0;
+};
+
+}  // namespace rumor

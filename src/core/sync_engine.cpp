@@ -1,0 +1,140 @@
+#include "core/sync_engine.h"
+
+#include <vector>
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+SpreadResult run_sync(DynamicNetwork& net, NodeId source, Rng& rng, const SyncOptions& options) {
+  const NodeId n = net.node_count();
+  DG_REQUIRE(n >= 1, "network must have nodes");
+  DG_REQUIRE(source >= 0 && source < n, "source out of range");
+  DG_REQUIRE(options.round_limit > 0, "round limit must be positive");
+
+  DG_REQUIRE(options.transmission_failure_prob >= 0.0 &&
+                 options.transmission_failure_prob < 1.0,
+             "failure probability must lie in [0, 1)");
+
+  SpreadResult result;
+  std::vector<std::uint8_t> informed(static_cast<std::size_t>(n), 0);
+  std::int64_t informed_count = 1;
+  informed[static_cast<std::size_t>(source)] = 1;
+  const InformedView view(&informed, &informed_count);
+
+  if (options.record_trace) result.trace.push_back({0.0, 1});
+  if (n == 1) {
+    result.completed = true;
+    result.informed_count = 1;
+    return result;
+  }
+
+  const bool do_push =
+      options.protocol == Protocol::push || options.protocol == Protocol::push_pull;
+  const bool do_pull =
+      options.protocol == Protocol::pull || options.protocol == Protocol::push_pull;
+
+  std::uint64_t version = 0;
+  std::vector<NodeId> newly;
+  std::int64_t round = 0;
+  for (; round < options.round_limit && informed_count < n; ++round) {
+    const Graph& g = net.graph_at(round, view);
+    if (g.version() != version) {
+      if (round > 0) ++result.graph_changes;
+      version = g.version();
+    }
+    if (options.bound_tracker != nullptr) options.bound_tracker->on_step(net.current_profile());
+
+    newly.clear();
+    for (NodeId u = 0; u < n; ++u) {
+      const auto neighbors = g.neighbors(u);
+      if (neighbors.empty()) continue;
+      const NodeId v = neighbors[rng.below(neighbors.size())];
+      ++result.total_contacts;
+      if (options.transmission_failure_prob > 0.0 &&
+          rng.flip(options.transmission_failure_prob)) {
+        continue;  // lossy link: the exchange was lost
+      }
+      const bool iu = informed[static_cast<std::size_t>(u)] != 0;
+      const bool iv = informed[static_cast<std::size_t>(v)] != 0;
+      // Exchanges use start-of-round knowledge; duplicates collapse below.
+      if (do_push && iu && !iv) newly.push_back(v);
+      if (do_pull && iv && !iu) newly.push_back(u);
+    }
+    for (NodeId w : newly) {
+      if (informed[static_cast<std::size_t>(w)] == 0) {
+        informed[static_cast<std::size_t>(w)] = 1;
+        ++informed_count;
+        ++result.informative_contacts;
+      }
+    }
+    if (options.record_trace)
+      result.trace.push_back({static_cast<double>(round + 1), informed_count});
+  }
+
+  result.informed_count = informed_count;
+  result.informed_flags = std::move(informed);
+  result.completed = informed_count == n;
+  result.spread_time = static_cast<double>(round);
+  if (options.bound_tracker != nullptr) {
+    result.theorem11_crossing = options.bound_tracker->theorem11_crossing();
+    result.theorem13_crossing = options.bound_tracker->theorem13_crossing();
+    result.phi_rho_sum = options.bound_tracker->phi_rho_sum();
+    result.abs_rho_sum = options.bound_tracker->abs_sum();
+  }
+  return result;
+}
+
+SpreadResult run_flooding(DynamicNetwork& net, NodeId source, const FloodingOptions& options) {
+  const NodeId n = net.node_count();
+  DG_REQUIRE(n >= 1, "network must have nodes");
+  DG_REQUIRE(source >= 0 && source < n, "source out of range");
+
+  SpreadResult result;
+  std::vector<std::uint8_t> informed(static_cast<std::size_t>(n), 0);
+  std::int64_t informed_count = 1;
+  informed[static_cast<std::size_t>(source)] = 1;
+  const InformedView view(&informed, &informed_count);
+
+  if (options.record_trace) result.trace.push_back({0.0, 1});
+  std::int64_t round = 0;
+  std::vector<NodeId> next;
+  std::vector<std::uint8_t> pending(static_cast<std::size_t>(n), 0);
+  for (; round < options.round_limit && informed_count < n; ++round) {
+    const Graph& g = net.graph_at(round, view);
+    next.clear();
+    // Flooding: every node informed at the START of the round informs all its
+    // neighbours; new nodes relay only from the next round on.
+    for (NodeId u = 0; u < n; ++u) {
+      if (informed[static_cast<std::size_t>(u)] == 0) continue;
+      for (NodeId v : g.neighbors(u)) {
+        if (informed[static_cast<std::size_t>(v)] == 0 &&
+            pending[static_cast<std::size_t>(v)] == 0) {
+          pending[static_cast<std::size_t>(v)] = 1;
+          next.push_back(v);
+        }
+      }
+    }
+    for (NodeId v : next) {
+      informed[static_cast<std::size_t>(v)] = 1;
+      pending[static_cast<std::size_t>(v)] = 0;
+    }
+    informed_count += static_cast<std::int64_t>(next.size());
+    result.informative_contacts += static_cast<std::int64_t>(next.size());
+    if (options.record_trace)
+      result.trace.push_back({static_cast<double>(round + 1), informed_count});
+    if (next.empty() && informed_count < n) {
+      // No progress this round (disconnected exposure); keep going — the
+      // topology may reconnect at a later step.
+      continue;
+    }
+  }
+
+  result.informed_count = informed_count;
+  result.informed_flags = std::move(informed);
+  result.completed = informed_count == n;
+  result.spread_time = static_cast<double>(round);
+  return result;
+}
+
+}  // namespace rumor

@@ -1,0 +1,69 @@
+#include "core/trace_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/regression.h"
+#include "support/contracts.h"
+
+namespace rumor {
+
+std::optional<double> time_to_reach(const std::vector<TracePoint>& trace, std::int64_t target) {
+  for (const auto& [time, informed] : trace) {
+    if (informed >= target) return time;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> phase_duration(const std::vector<TracePoint>& trace, std::int64_t n,
+                                     std::int64_t start) {
+  DG_REQUIRE(start >= 1 && start < n, "phase start must lie in [1, n)");
+  const std::int64_t m = std::min(start, n - start);
+  const std::int64_t target = start + (m + 1) / 2;  // grow by ceil(m/2)
+  const auto t0 = time_to_reach(trace, start);
+  if (!t0) return std::nullopt;
+  const auto t1 = time_to_reach(trace, target);
+  if (!t1) return std::nullopt;
+  return *t1 - *t0;
+}
+
+std::vector<double> doubling_times(const std::vector<TracePoint>& trace) {
+  std::vector<double> out;
+  if (trace.empty()) return out;
+  std::int64_t level = 1;
+  std::optional<double> prev = time_to_reach(trace, level);
+  for (;;) {
+    const std::int64_t next_level = level * 2;
+    const auto t = time_to_reach(trace, next_level);
+    if (!t || !prev) break;
+    out.push_back(*t - *prev);
+    prev = t;
+    level = next_level;
+  }
+  return out;
+}
+
+std::optional<PhaseSplit> half_split(const std::vector<TracePoint>& trace, std::int64_t n) {
+  DG_REQUIRE(n >= 2, "need at least two nodes");
+  const auto t_half = time_to_reach(trace, (n + 1) / 2);
+  const auto t_full = time_to_reach(trace, n);
+  if (!t_half || !t_full) return std::nullopt;
+  return PhaseSplit{*t_half, *t_full - *t_half};
+}
+
+std::optional<double> growth_rate(const std::vector<TracePoint>& trace, std::int64_t n) {
+  std::vector<double> ts, logs;
+  for (const auto& [time, informed] : trace) {
+    if (informed > n / 2) break;
+    if (informed >= 1) {
+      ts.push_back(time);
+      logs.push_back(std::log(static_cast<double>(informed)));
+    }
+  }
+  if (ts.size() < 3) return std::nullopt;
+  // Guard against a degenerate all-equal time axis.
+  if (ts.front() == ts.back()) return std::nullopt;
+  return fit_linear(ts, logs).slope;
+}
+
+}  // namespace rumor

@@ -1,0 +1,42 @@
+// Analytics over SpreadResult traces.
+//
+// The proofs of Theorem 1.1 and Theorem 1.7(iii) decompose a run into
+// "grow by min(I,U)/2" phases (Lemma 3.1) and two half-spread phases
+// (Section 6.1). These helpers extract those quantities from recorded
+// traces so experiments and tests can compare them against the per-phase
+// budgets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace rumor {
+
+using TracePoint = std::pair<double, std::int64_t>;  // (time, informed count)
+
+// First time the informed count reaches at least `target`; nullopt if never.
+std::optional<double> time_to_reach(const std::vector<TracePoint>& trace, std::int64_t target);
+
+// Duration of the Lemma 3.1 phase that starts when |I| first reaches
+// `start`: the time until |I| >= start + min(start, n - start)/2.
+std::optional<double> phase_duration(const std::vector<TracePoint>& trace, std::int64_t n,
+                                     std::int64_t start);
+
+// All consecutive doubling times: time from |I| >= 2^i to |I| >= 2^{i+1}.
+std::vector<double> doubling_times(const std::vector<TracePoint>& trace);
+
+// The two-phase split of the Theorem 1.1 proof: time to reach n/2 informed
+// (first phase) and from n/2 to n (second phase). Requires a complete trace.
+struct PhaseSplit {
+  double first_phase = 0.0;
+  double second_phase = 0.0;
+};
+std::optional<PhaseSplit> half_split(const std::vector<TracePoint>& trace, std::int64_t n);
+
+// Exponential growth-rate estimate: least-squares slope of log |I_t| against
+// t over the trace prefix with |I| <= n/2. Needs at least three points.
+std::optional<double> growth_rate(const std::vector<TracePoint>& trace, std::int64_t n);
+
+}  // namespace rumor

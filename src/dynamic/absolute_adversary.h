@@ -1,0 +1,63 @@
+// The Section-5.1 adaptive dynamic network G(n, ρ) behind Theorem 1.5.
+//
+// Fix an even Δ ∈ {⌈1/ρ⌉, ⌈1/ρ⌉+1}. Each exposed graph consists of
+//   * G(A_t, 4, Δ): a connected graph on A_t where every node has degree 4
+//     except one hub of degree Δ (realized as a rewired circulant);
+//   * G(B_t, Δ): a connected Δ-regular graph on B_t (a circulant);
+//   * one bridge edge joining the hub to a node of G(B_t, Δ).
+//
+// Evolution: B_{t+1} = B_t \ I_t; while n/6 <= |B_{t+1}| < |B_t| the adversary
+// re-exposes a fresh split, otherwise the graph is frozen.
+//
+// Every exposed graph is absolutely 1/(Δ+1)-diligent (the bridge endpoints
+// both have degree Δ+1) and connected, so Theorem 1.3 predicts spread within
+// T_abs = 2n(Δ+1); the bridge fires at rate only 2/(Δ+1) and each crossing
+// frees Θ(1) nodes of B (Lemma 5.2), forcing Ω(n/ρ) — the bound is tight up
+// to constants.
+#pragma once
+
+#include <vector>
+
+#include "dynamic/dynamic_network.h"
+#include "stats/rng.h"
+
+namespace rumor {
+
+class AbsoluteAdversaryNetwork final : public DynamicNetwork {
+ public:
+  // rho in [10/n, 1].
+  AbsoluteAdversaryNetwork(NodeId n, double rho, std::uint64_t seed = 13);
+
+  NodeId node_count() const override { return n_; }
+  const Graph& graph_at(std::int64_t t, const InformedView& informed) override;
+  const Graph& current_graph() const override { return graph_; }
+  GraphProfile current_profile() const override;
+  // The rumor starts at the hub of G(A_0, 4, Δ) (a node of the A side).
+  NodeId suggested_source() const override { return hub_; }
+  std::string name() const override { return "G(n,rho)-absolute"; }
+
+  NodeId delta() const { return delta_; }
+  NodeId current_hub() const { return hub_; }
+  NodeId current_boundary() const { return boundary_; }
+  // The Theorem 1.3 upper bound on this family: 2n(Δ+1).
+  double theorem13_bound() const;
+  std::int64_t rebuild_count() const { return rebuilds_; }
+
+ private:
+  void rebuild(const InformedView* informed);
+
+  NodeId n_ = 0;
+  double rho_ = 1.0;
+  NodeId delta_ = 4;
+  Rng rng_;
+  std::vector<NodeId> a_side_;
+  std::vector<NodeId> b_side_;
+  Graph graph_;
+  NodeId hub_ = 0;       // the degree-(Δ+1) node on the A side
+  NodeId boundary_ = 0;  // the bridge endpoint on the B side
+  std::int64_t last_step_ = -1;
+  std::int64_t last_informed_count_ = -1;
+  std::int64_t rebuilds_ = 0;
+};
+
+}  // namespace rumor

@@ -1,0 +1,59 @@
+#include "dynamic/clique_bridge.h"
+
+#include <algorithm>
+
+#include "graph/builders.h"
+#include "support/contracts.h"
+
+namespace rumor {
+
+CliqueBridgeNetwork::CliqueBridgeNetwork(NodeId n_clique) {
+  DG_REQUIRE(n_clique >= 4, "clique side needs at least four nodes");
+  n_total_ = n_clique + 1;
+
+  // t = 0: K_n on ids 0..n-1, pendant id n attached to id 0 (paper's node 1).
+  initial_ = make_pendant_clique(n_clique, 0);
+
+  // t >= 1: split ids into a left clique containing 0 and a right clique
+  // containing n, as equal as possible, bridged by {0, n}.
+  const NodeId left = n_total_ / 2;
+  const NodeId right = n_total_ - left;
+  // Left clique: ids 0..left-1 (contains 0). Right: ids left..n (contains n).
+  bridged_ = make_two_cliques_bridge(left, right, 0, static_cast<NodeId>(n_total_ - 1));
+}
+
+const Graph& CliqueBridgeNetwork::graph_at(std::int64_t t, const InformedView&) {
+  DG_REQUIRE(t >= 0, "time steps are non-negative");
+  at_initial_ = (t == 0);
+  return at_initial_ ? initial_ : bridged_;
+}
+
+const Graph& CliqueBridgeNetwork::current_graph() const {
+  return at_initial_ ? initial_ : bridged_;
+}
+
+GraphProfile CliqueBridgeNetwork::current_profile() const {
+  GraphProfile p;
+  p.connected = true;
+  p.exact = false;
+  if (at_initial_) {
+    // Pendant clique: the balanced cut gives Φ ≈ 1/2; pendant cuts give 1.
+    // Diligence is Θ(1); constants below are conservative lower bounds,
+    // validated against exact_conductance/exact_diligence in tests.
+    p.conductance = 0.25;
+    p.diligence = 0.25;
+    p.abs_diligence = 1.0 / static_cast<double>(n_total_ - 2);  // clique edges
+  } else {
+    // Two cliques + bridge: the bridge cut is the minimizer.
+    const NodeId left = n_total_ / 2;
+    const NodeId right = n_total_ - left;
+    const double vol_left = static_cast<double>(left) * (left - 1) + 1.0;
+    const double vol_right = static_cast<double>(right) * (right - 1) + 1.0;
+    p.conductance = 1.0 / std::min(vol_left, vol_right);
+    p.diligence = 0.5;  // near-regular: ρ = Θ(1)
+    p.abs_diligence = 1.0 / static_cast<double>(std::max(left, right));
+  }
+  return p;
+}
+
+}  // namespace rumor

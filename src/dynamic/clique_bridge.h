@@ -1,0 +1,42 @@
+// Figure 1(a): the dynamic network G1 of Theorem 1.7(i).
+//
+// G(0) is an n-node clique with a pendant edge {1, n+1}, the pendant node n+1
+// holding the rumor. For every t >= 1, G(t) consists of two equally sized
+// cliques joined by the single bridge {1, n+1}, with node 1 in the left and
+// node n+1 in the right clique.
+//
+// Node-id mapping: paper node 1 -> id 0, paper node n+1 -> id n (the vertex
+// set has n+1 nodes, ids 0..n).
+//
+// The dichotomy: Ts(G1) = Θ(log n) (the first synchronous round pushes the
+// rumor over the pendant edge with probability 1, after which both cliques
+// fill in O(log n) rounds), while Ta(G1) = Ω(n) (with constant probability the
+// pendant edge never fires in [0, 1), and after the switch the bridge only
+// fires at rate Θ(1/n)).
+#pragma once
+
+#include "dynamic/dynamic_network.h"
+
+namespace rumor {
+
+class CliqueBridgeNetwork final : public DynamicNetwork {
+ public:
+  // `n_clique` is the paper's n: G(0) = K_n plus the pendant node.
+  explicit CliqueBridgeNetwork(NodeId n_clique);
+
+  NodeId node_count() const override { return n_total_; }
+  const Graph& graph_at(std::int64_t t, const InformedView& informed) override;
+  const Graph& current_graph() const override;
+  GraphProfile current_profile() const override;
+  // The paper injects the rumor at node n+1 (the pendant).
+  NodeId suggested_source() const override { return static_cast<NodeId>(n_total_ - 1); }
+  std::string name() const override { return "G1-clique-bridge"; }
+
+ private:
+  NodeId n_total_ = 0;
+  Graph initial_;   // pendant clique, exposed at t = 0
+  Graph bridged_;   // two cliques + bridge, exposed for t >= 1
+  bool at_initial_ = true;
+};
+
+}  // namespace rumor

@@ -1,0 +1,63 @@
+// The Section-4 adaptive dynamic network G(n, ρ) behind Theorem 1.2.
+//
+// Fix Δ = ⌈1/ρ⌉ and k = Θ(log n / log log n). The vertex set splits into an
+// informed-ish side A_t and an uninformed side B_t:
+//
+//   G(0)   = H_{k,Δ}(A_0, B_0) with |A_0| = n/4, |B_0| = 3n/4;
+//   B_{t+1} = B_t \ I_{t+1};  A_{t+1} = V \ B_{t+1};
+//   if n/4 <= |B_{t+1}| < |B_t|:  G(t+1) = H_{k,Δ}(A_{t+1}, B_{t+1}),
+//   otherwise G(t+1) = G(t).
+//
+// Because Lemma 4.2 shows the rumor w.h.p. fails to traverse the k-layer
+// bipartite string within one unit of time, each step steals at most the kΔ
+// string nodes from B — so the adversary forces Ω(n/(kΔ)) = Ω(nρ/k) spread
+// time even though Φ·ρ looks favourable, matching Theorem 1.1 up to o(log²n).
+#pragma once
+
+#include <vector>
+
+#include "dynamic/dynamic_network.h"
+#include "graph/hk_graph.h"
+#include "stats/rng.h"
+
+namespace rumor {
+
+// The paper's k(n) = Θ(log n / log log n) with constant 1.
+int default_layer_count(NodeId n);
+
+class DiligentAdversaryNetwork final : public DynamicNetwork {
+ public:
+  // rho in [1/sqrt(n), 1]; k = 0 selects default_layer_count(n).
+  DiligentAdversaryNetwork(NodeId n, double rho, int k = 0, std::uint64_t seed = 11);
+
+  NodeId node_count() const override { return n_; }
+  const Graph& graph_at(std::int64_t t, const InformedView& informed) override;
+  const Graph& current_graph() const override { return hk_.graph; }
+  GraphProfile current_profile() const override;
+  // The rumor must start inside A_0 (paper: "we inject a rumor to a node of A_0").
+  NodeId suggested_source() const override { return a_side_.front(); }
+  std::string name() const override { return "G(n,rho)-diligent"; }
+
+  NodeId delta() const { return delta_; }
+  int layers() const { return k_; }
+  // The Theorem 1.2 lower bound n / (4 k ⌈1/ρ⌉) on the spread time.
+  double spread_time_lower_bound() const;
+  std::int64_t rebuild_count() const { return rebuilds_; }
+
+ private:
+  void rebuild();
+
+  NodeId n_ = 0;
+  double rho_ = 1.0;
+  NodeId delta_ = 1;
+  int k_ = 1;
+  Rng rng_;
+  std::vector<NodeId> a_side_;
+  std::vector<NodeId> b_side_;
+  HkGraph hk_;
+  std::int64_t last_step_ = -1;
+  std::int64_t last_informed_count_ = -1;
+  std::int64_t rebuilds_ = 0;
+};
+
+}  // namespace rumor

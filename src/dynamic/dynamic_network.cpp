@@ -1,0 +1,7 @@
+#include "dynamic/dynamic_network.h"
+
+namespace rumor {
+
+GraphProfile DynamicNetwork::current_profile() const { return compute_profile(current_graph()); }
+
+}  // namespace rumor

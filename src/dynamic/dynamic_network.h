@@ -1,0 +1,64 @@
+// Dynamic evolving networks: G = {G(t)}, t = 0, 1, 2, ...
+//
+// All graphs share one vertex set of size n; the topology exposed during the
+// continuous-time interval [t, t+1) is G(t). The paper's tightness
+// constructions are *adaptive adversaries*: G(t) may depend on which nodes are
+// informed at time t, so the engine hands the informed set to the network at
+// every integer boundary.
+//
+// Contract:
+//  * graph_at(t, informed) is called with non-decreasing t (0, 1, 2, ...);
+//  * the returned reference stays valid until the next graph_at call;
+//  * Graph::version() changes iff the topology changed, letting engines skip
+//    rebuilding their rate structures when the adversary kept the graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/profile.h"
+
+namespace rumor {
+
+// Read-only view of the engine's informed set, passed to adaptive networks.
+class InformedView {
+ public:
+  InformedView(const std::vector<std::uint8_t>* flags, const std::int64_t* count)
+      : flags_(flags), count_(count) {}
+
+  bool is_informed(NodeId u) const { return (*flags_)[static_cast<std::size_t>(u)] != 0; }
+  std::int64_t informed_count() const { return *count_; }
+  std::int64_t node_count() const { return static_cast<std::int64_t>(flags_->size()); }
+
+ private:
+  const std::vector<std::uint8_t>* flags_;
+  const std::int64_t* count_;
+};
+
+class DynamicNetwork {
+ public:
+  virtual ~DynamicNetwork() = default;
+
+  virtual NodeId node_count() const = 0;
+
+  // Topology for the interval [t, t+1); may adapt to the informed set.
+  virtual const Graph& graph_at(std::int64_t t, const InformedView& informed) = 0;
+
+  // The most recently exposed graph (valid after the first graph_at call).
+  virtual const Graph& current_graph() const = 0;
+
+  // Φ/ρ/ρ̄ of the current graph. The default computes exact values for small
+  // graphs and safe lower bounds otherwise; families with closed forms
+  // override this with the paper's analytic expressions.
+  virtual GraphProfile current_profile() const;
+
+  // Where the rumor should be injected to match the paper's setup (e.g. a node
+  // of A_0 for the Section-4 adversary, a leaf for the dynamic star).
+  virtual NodeId suggested_source() const { return 0; }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace rumor

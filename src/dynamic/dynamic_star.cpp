@@ -1,0 +1,55 @@
+#include "dynamic/dynamic_star.h"
+
+#include "graph/builders.h"
+#include "support/contracts.h"
+
+namespace rumor {
+
+DynamicStarNetwork::DynamicStarNetwork(NodeId n_leaves, std::uint64_t seed)
+    : n_total_(n_leaves + 1), rng_(seed) {
+  DG_REQUIRE(n_leaves >= 2, "dynamic star needs at least two leaves");
+  center_ = 0;
+  graph_ = make_star(n_total_, center_);
+}
+
+const Graph& DynamicStarNetwork::graph_at(std::int64_t t, const InformedView& informed) {
+  DG_REQUIRE(t >= last_step_, "graph_at must be called with non-decreasing t");
+  if (t == last_step_ || t == 0) {
+    last_step_ = t;
+    return graph_;
+  }
+  last_step_ = t;
+
+  // Re-seat the centre on an uninformed node; if none exists, pick a random
+  // node other than the current centre ("the center is chosen arbitrarily").
+  NodeId new_center = -1;
+  for (NodeId u = 0; u < n_total_; ++u) {
+    if (!informed.is_informed(u)) {
+      new_center = u;
+      break;
+    }
+  }
+  if (new_center == -1) {
+    do {
+      new_center = static_cast<NodeId>(rng_.below(static_cast<std::uint64_t>(n_total_)));
+    } while (new_center == center_);
+  }
+  if (new_center != center_) {
+    center_ = new_center;
+    graph_ = make_star(n_total_, center_);
+  }
+  return graph_;
+}
+
+GraphProfile DynamicStarNetwork::current_profile() const {
+  // Stars are expanders and 1-diligent in both senses (Section 1.1).
+  GraphProfile p;
+  p.conductance = 1.0;
+  p.diligence = 1.0;
+  p.abs_diligence = 1.0;
+  p.connected = true;
+  p.exact = true;
+  return p;
+}
+
+}  // namespace rumor

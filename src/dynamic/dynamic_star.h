@@ -1,0 +1,43 @@
+// Figure 1(b): the dynamic star G2 of Theorem 1.7(ii)-(iii).
+//
+// G(0) is a star over n+1 nodes whose rumor starts at a leaf. At every step
+// t >= 1 the centre is re-seated onto an uninformed node; once every node is
+// informed the centre is chosen uniformly at random among the leaves.
+//
+// The dichotomy: the synchronous algorithm informs exactly one new node (the
+// centre) per round — any other leaf's pull happens in the same round the
+// centre learns the rumor and so fails — giving Ts(G2) = n exactly. The
+// asynchronous algorithm's exponential clocks de-synchronize pushes and pulls
+// inside each unit interval, giving Ta(G2) = Θ(log n); Theorem 1.7(iii)
+// quantifies the tail: Pr[spread > 2k] <= e^{-k/2-o(1)} + e^{-k-o(1)}.
+#pragma once
+
+#include "dynamic/dynamic_network.h"
+#include "stats/rng.h"
+
+namespace rumor {
+
+class DynamicStarNetwork final : public DynamicNetwork {
+ public:
+  // `n_leaves` is the paper's n: the star has n+1 nodes total.
+  DynamicStarNetwork(NodeId n_leaves, std::uint64_t seed = 7);
+
+  NodeId node_count() const override { return n_total_; }
+  const Graph& graph_at(std::int64_t t, const InformedView& informed) override;
+  const Graph& current_graph() const override { return graph_; }
+  GraphProfile current_profile() const override;
+  // Paper: "the rumor is injected to an arbitrary leaf node".
+  NodeId suggested_source() const override { return 1; }
+  std::string name() const override { return "G2-dynamic-star"; }
+
+  NodeId current_center() const { return center_; }
+
+ private:
+  NodeId n_total_ = 0;
+  NodeId center_ = 0;
+  Graph graph_;
+  Rng rng_;
+  std::int64_t last_step_ = -1;
+};
+
+}  // namespace rumor

@@ -1,0 +1,100 @@
+#include "dynamic/edge_markovian.h"
+
+#include <cmath>
+#include <vector>
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+std::uint64_t EdgeMarkovianNetwork::key(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+         static_cast<std::uint32_t>(v);
+}
+
+EdgeMarkovianNetwork::EdgeMarkovianNetwork(NodeId n, double p, double q, std::uint64_t seed,
+                                           bool start_empty)
+    : n_(n), p_(p), q_(q), rng_(seed) {
+  DG_REQUIRE(n >= 2, "need at least two nodes");
+  DG_REQUIRE(p > 0.0 && p <= 1.0, "birth probability must lie in (0,1]");
+  DG_REQUIRE(q > 0.0 && q <= 1.0, "death probability must lie in (0,1]");
+  if (!start_empty) {
+    // Stationary density: each pair is an edge with probability p/(p+q).
+    const double density = p / (p + q);
+    const double log1m = std::log1p(-density);
+    const std::int64_t total = static_cast<std::int64_t>(n) * (n - 1) / 2;
+    std::int64_t idx = -1;
+    if (density < 1.0) {
+      for (;;) {
+        idx += 1 + static_cast<std::int64_t>(
+                       std::floor(std::log(rng_.uniform_positive()) / log1m));
+        if (idx >= total) break;
+        std::int64_t rem = idx;
+        NodeId u = 0;
+        while (rem >= n - 1 - u) {
+          rem -= n - 1 - u;
+          ++u;
+        }
+        edge_set_.insert(key(u, static_cast<NodeId>(u + 1 + rem)));
+      }
+    }
+  }
+  materialize();
+}
+
+void EdgeMarkovianNetwork::materialize() {
+  std::vector<Edge> edges;
+  edges.reserve(edge_set_.size());
+  for (std::uint64_t k : edge_set_) {
+    edges.push_back({static_cast<NodeId>(k >> 32), static_cast<NodeId>(k & 0xffffffffULL)});
+  }
+  graph_ = Graph(n_, std::move(edges));
+}
+
+void EdgeMarkovianNetwork::evolve() {
+  // Deaths: every current edge survives with probability 1 - q.
+  std::unordered_set<std::uint64_t> next;
+  next.reserve(edge_set_.size() * 2);
+  for (std::uint64_t k : edge_set_)
+    if (!rng_.flip(q_)) next.insert(k);
+
+  // Births: geometric skipping over all non-edges. We enumerate all pairs and
+  // skip by Geometric(p); pairs that are currently edges are passed over
+  // (their transition is governed by the death step).
+  const double log1m = std::log1p(-p_);
+  const std::int64_t total = static_cast<std::int64_t>(n_) * (n_ - 1) / 2;
+  std::int64_t idx = -1;
+  if (p_ < 1.0) {
+    for (;;) {
+      idx += 1 +
+             static_cast<std::int64_t>(std::floor(std::log(rng_.uniform_positive()) / log1m));
+      if (idx >= total) break;
+      std::int64_t rem = idx;
+      NodeId u = 0;
+      while (rem >= n_ - 1 - u) {
+        rem -= n_ - 1 - u;
+        ++u;
+      }
+      const std::uint64_t k = key(u, static_cast<NodeId>(u + 1 + rem));
+      if (edge_set_.count(k) == 0) next.insert(k);
+    }
+  } else {
+    for (NodeId u = 0; u < n_; ++u)
+      for (NodeId v = u + 1; v < n_; ++v) next.insert(key(u, v));
+  }
+
+  edge_set_ = std::move(next);
+  materialize();
+}
+
+const Graph& EdgeMarkovianNetwork::graph_at(std::int64_t t, const InformedView&) {
+  DG_REQUIRE(t >= last_step_, "graph_at must be called with non-decreasing t");
+  while (last_step_ < t) {
+    if (last_step_ >= 0) evolve();
+    ++last_step_;
+  }
+  return graph_;
+}
+
+}  // namespace rumor

@@ -1,0 +1,42 @@
+// Edge-Markovian evolving graph (Clementi et al., ESA 2013 — related work [7]).
+//
+// Between consecutive steps every non-edge is born with probability p and
+// every edge dies with probability q, independently. With p = Ω(1/n) and
+// constant q, the (synchronous) push algorithm spreads a rumor in O(log n)
+// rounds w.h.p. — extension experiment E13 reproduces that claim with this
+// family.
+#pragma once
+
+#include <unordered_set>
+
+#include "dynamic/dynamic_network.h"
+#include "stats/rng.h"
+
+namespace rumor {
+
+class EdgeMarkovianNetwork final : public DynamicNetwork {
+ public:
+  // Starts from G(0) ~ the stationary density p/(p+q) unless `start_empty`.
+  EdgeMarkovianNetwork(NodeId n, double p, double q, std::uint64_t seed = 17,
+                       bool start_empty = false);
+
+  NodeId node_count() const override { return n_; }
+  const Graph& graph_at(std::int64_t t, const InformedView& informed) override;
+  const Graph& current_graph() const override { return graph_; }
+  std::string name() const override { return "edge-markovian"; }
+
+ private:
+  void materialize();
+  void evolve();
+  static std::uint64_t key(NodeId u, NodeId v);
+
+  NodeId n_ = 0;
+  double p_ = 0.0;
+  double q_ = 0.0;
+  Rng rng_;
+  std::unordered_set<std::uint64_t> edge_set_;
+  Graph graph_;
+  std::int64_t last_step_ = -1;
+};
+
+}  // namespace rumor

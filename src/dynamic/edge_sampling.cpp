@@ -1,0 +1,34 @@
+#include "dynamic/edge_sampling.h"
+
+#include <vector>
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+EdgeSamplingNetwork::EdgeSamplingNetwork(Graph base, double p, std::uint64_t seed)
+    : base_(std::move(base)), p_(p), rng_(seed) {
+  DG_REQUIRE(base_.node_count() >= 1, "base graph must have nodes");
+  DG_REQUIRE(p > 0.0 && p <= 1.0, "edge probability must lie in (0, 1]");
+  resample();
+}
+
+void EdgeSamplingNetwork::resample() {
+  std::vector<Edge> kept;
+  kept.reserve(static_cast<std::size_t>(static_cast<double>(base_.edge_count()) * p_) + 8);
+  for (const Edge& e : base_.edges()) {
+    if (rng_.flip(p_)) kept.push_back(e);
+  }
+  current_ = Graph(base_.node_count(), std::move(kept));
+}
+
+const Graph& EdgeSamplingNetwork::graph_at(std::int64_t t, const InformedView&) {
+  DG_REQUIRE(t >= last_t_, "graph_at must be called with non-decreasing t");
+  while (last_t_ < t) {
+    ++last_t_;
+    if (last_t_ > 0) resample();
+  }
+  return current_;
+}
+
+}  // namespace rumor

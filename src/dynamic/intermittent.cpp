@@ -1,0 +1,41 @@
+#include "dynamic/intermittent.h"
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+IntermittentNetwork::IntermittentNetwork(std::unique_ptr<DynamicNetwork> base, int period,
+                                         int up_steps)
+    : base_(std::move(base)), period_(period), up_steps_(up_steps) {
+  DG_REQUIRE(base_ != nullptr, "base network required");
+  DG_REQUIRE(period >= 1, "period must be positive");
+  DG_REQUIRE(up_steps >= 1 && up_steps <= period, "up_steps must lie in [1, period]");
+  down_graph_ = Graph(base_->node_count(), {});
+}
+
+const Graph& IntermittentNetwork::graph_at(std::int64_t t, const InformedView& informed) {
+  DG_REQUIRE(t >= last_t_, "graph_at must be called with non-decreasing t");
+  up_ = (t % period_) < up_steps_;
+  if (!up_) {
+    last_t_ = t;
+    return down_graph_;
+  }
+  // The base network sees only its own "up" clock, so its evolution (e.g. an
+  // adversary's schedule) is undisturbed by the outages. Repeated queries at
+  // the same t re-serve the same base step.
+  if (t != last_t_) ++base_steps_;
+  last_t_ = t;
+  return base_->graph_at(base_steps_ - 1, informed);
+}
+
+const Graph& IntermittentNetwork::current_graph() const {
+  return up_ ? base_->current_graph() : down_graph_;
+}
+
+GraphProfile IntermittentNetwork::current_profile() const {
+  if (up_) return base_->current_profile();
+  GraphProfile p;  // empty graph: disconnected, everything zero
+  return p;
+}
+
+}  // namespace rumor

@@ -1,0 +1,40 @@
+// Intermittent connectivity: a base dynamic network that is only "up" on a
+// duty cycle; during "down" steps the exposed graph is empty.
+//
+// This family exercises the ⌈Φ(G(t))⌉ connectivity indicator of Theorem 1.3
+// directly: down steps contribute nothing to either bound sum, and both
+// T(G,c) and T_abs stretch by exactly the duty-cycle factor — as does the
+// measured spread time.
+#pragma once
+
+#include <memory>
+
+#include "dynamic/dynamic_network.h"
+
+namespace rumor {
+
+class IntermittentNetwork final : public DynamicNetwork {
+ public:
+  // The network is up on steps where (t mod period) < up_steps.
+  IntermittentNetwork(std::unique_ptr<DynamicNetwork> base, int period, int up_steps);
+
+  NodeId node_count() const override { return base_->node_count(); }
+  const Graph& graph_at(std::int64_t t, const InformedView& informed) override;
+  const Graph& current_graph() const override;
+  GraphProfile current_profile() const override;
+  NodeId suggested_source() const override { return base_->suggested_source(); }
+  std::string name() const override { return "intermittent(" + base_->name() + ")"; }
+
+  bool currently_up() const { return up_; }
+
+ private:
+  std::unique_ptr<DynamicNetwork> base_;
+  int period_;
+  int up_steps_;
+  Graph down_graph_;  // empty graph on the same vertex set
+  bool up_ = true;
+  std::int64_t base_steps_ = 0;  // how many up-steps the base has served
+  std::int64_t last_t_ = -1;
+};
+
+}  // namespace rumor

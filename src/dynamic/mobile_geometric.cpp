@@ -1,0 +1,98 @@
+#include "dynamic/mobile_geometric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+namespace {
+// Torus distance in one dimension.
+double wrap_delta(double a, double b) {
+  double d = std::abs(a - b);
+  return std::min(d, 1.0 - d);
+}
+}  // namespace
+
+MobileGeometricNetwork::MobileGeometricNetwork(NodeId n, double radius, double step,
+                                               std::uint64_t seed)
+    : n_(n), radius_(radius), step_(step), rng_(seed) {
+  DG_REQUIRE(n >= 2, "need at least two agents");
+  DG_REQUIRE(radius > 0.0 && radius < 0.5, "radius must lie in (0, 0.5)");
+  DG_REQUIRE(step >= 0.0 && step < 0.5, "step must lie in [0, 0.5)");
+  x_.resize(static_cast<std::size_t>(n));
+  y_.resize(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) {
+    x_[static_cast<std::size_t>(u)] = rng_.uniform();
+    y_[static_cast<std::size_t>(u)] = rng_.uniform();
+  }
+  rebuild();
+}
+
+void MobileGeometricNetwork::move() {
+  for (NodeId u = 0; u < n_; ++u) {
+    const double angle = rng_.uniform() * 2.0 * M_PI;
+    const double r = rng_.uniform() * step_;
+    auto& x = x_[static_cast<std::size_t>(u)];
+    auto& y = y_[static_cast<std::size_t>(u)];
+    x = std::fmod(x + r * std::cos(angle) + 1.0, 1.0);
+    y = std::fmod(y + r * std::sin(angle) + 1.0, 1.0);
+  }
+}
+
+void MobileGeometricNetwork::rebuild() {
+  // Cell grid of side >= radius: only neighbouring cells can hold neighbours.
+  const int cells = std::max(1, static_cast<int>(std::floor(1.0 / radius_)));
+  const double cell_size = 1.0 / cells;
+  std::vector<std::vector<NodeId>> grid(static_cast<std::size_t>(cells) * cells);
+  auto cell_of = [&](NodeId u) {
+    const int cx = std::min(cells - 1, static_cast<int>(x_[static_cast<std::size_t>(u)] / cell_size));
+    const int cy = std::min(cells - 1, static_cast<int>(y_[static_cast<std::size_t>(u)] / cell_size));
+    return static_cast<std::size_t>(cy) * cells + static_cast<std::size_t>(cx);
+  };
+  for (NodeId u = 0; u < n_; ++u) grid[cell_of(u)].push_back(u);
+
+  std::vector<Edge> edges;
+  const double r2 = radius_ * radius_;
+  for (int cy = 0; cy < cells; ++cy) {
+    for (int cx = 0; cx < cells; ++cx) {
+      const auto& here = grid[static_cast<std::size_t>(cy) * cells + cx];
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int ox = ((cx + dx) % cells + cells) % cells;
+          const int oy = ((cy + dy) % cells + cells) % cells;
+          const auto& there = grid[static_cast<std::size_t>(oy) * cells + ox];
+          for (NodeId u : here) {
+            for (NodeId v : there) {
+              if (u >= v) continue;
+              const double ddx = wrap_delta(x_[static_cast<std::size_t>(u)],
+                                            x_[static_cast<std::size_t>(v)]);
+              const double ddy = wrap_delta(y_[static_cast<std::size_t>(u)],
+                                            y_[static_cast<std::size_t>(v)]);
+              if (ddx * ddx + ddy * ddy <= r2) edges.push_back({u, v});
+            }
+          }
+        }
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.u < b.u || (a.u == b.u && a.v < b.v); });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  graph_ = Graph(n_, std::move(edges));
+}
+
+const Graph& MobileGeometricNetwork::graph_at(std::int64_t t, const InformedView&) {
+  DG_REQUIRE(t >= last_step_, "graph_at must be called with non-decreasing t");
+  while (last_step_ < t) {
+    if (last_step_ >= 0) {
+      move();
+      rebuild();
+    }
+    ++last_step_;
+  }
+  return graph_;
+}
+
+}  // namespace rumor

@@ -1,0 +1,43 @@
+// Mobile-agents proximity network (related work [22, 20] and the "mobile
+// wireless communication networks" motivation from the introduction).
+//
+// n agents live on the unit torus [0,1)²; at every integer step each agent
+// takes an independent uniform step of length at most `step`, and two agents
+// are connected whenever their torus distance is at most `radius`. The graph
+// can be disconnected — exactly the situation in which the paper's ⌈Φ⌉
+// indicator nulls a step's contribution in Theorem 1.3.
+#pragma once
+
+#include <vector>
+
+#include "dynamic/dynamic_network.h"
+#include "stats/rng.h"
+
+namespace rumor {
+
+class MobileGeometricNetwork final : public DynamicNetwork {
+ public:
+  MobileGeometricNetwork(NodeId n, double radius, double step, std::uint64_t seed = 23);
+
+  NodeId node_count() const override { return n_; }
+  const Graph& graph_at(std::int64_t t, const InformedView& informed) override;
+  const Graph& current_graph() const override { return graph_; }
+  std::string name() const override { return "mobile-geometric"; }
+
+  const std::vector<double>& xs() const { return x_; }
+  const std::vector<double>& ys() const { return y_; }
+
+ private:
+  void move();
+  void rebuild();
+
+  NodeId n_ = 0;
+  double radius_ = 0.1;
+  double step_ = 0.02;
+  Rng rng_;
+  std::vector<double> x_, y_;
+  Graph graph_;
+  std::int64_t last_step_ = -1;
+};
+
+}  // namespace rumor

@@ -1,0 +1,63 @@
+#include "dynamic/simple_networks.h"
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+StaticNetwork::StaticNetwork(Graph g, std::string name)
+    : graph_(std::move(g)), name_(std::move(name)) {
+  DG_REQUIRE(graph_.node_count() >= 1, "static network needs at least one node");
+}
+
+const Graph& StaticNetwork::graph_at(std::int64_t t, const InformedView&) {
+  DG_REQUIRE(t >= 0, "time steps are non-negative");
+  return graph_;
+}
+
+GraphProfile StaticNetwork::current_profile() const {
+  if (profile_) return *profile_;
+  if (!cached_generic_) cached_generic_ = DynamicNetwork::current_profile();
+  return *cached_generic_;
+}
+
+PeriodicNetwork::PeriodicNetwork(std::vector<Graph> graphs, std::string name)
+    : graphs_(std::move(graphs)), name_(std::move(name)) {
+  DG_REQUIRE(!graphs_.empty(), "periodic network needs at least one graph");
+  for (const auto& g : graphs_) {
+    DG_REQUIRE(g.node_count() == graphs_.front().node_count(),
+               "all phase graphs must share the vertex set");
+  }
+}
+
+void PeriodicNetwork::set_profiles(std::vector<GraphProfile> profiles) {
+  DG_REQUIRE(profiles.size() == graphs_.size(), "need exactly one profile per phase graph");
+  profiles_ = std::move(profiles);
+}
+
+const Graph& PeriodicNetwork::graph_at(std::int64_t t, const InformedView&) {
+  DG_REQUIRE(t >= 0, "time steps are non-negative");
+  current_ = static_cast<std::size_t>(t % static_cast<std::int64_t>(graphs_.size()));
+  return graphs_[current_];
+}
+
+GraphProfile PeriodicNetwork::current_profile() const {
+  if (!profiles_.empty()) return profiles_[current_];
+  return DynamicNetwork::current_profile();
+}
+
+TraceNetwork::TraceNetwork(std::vector<Graph> graphs, std::string name)
+    : graphs_(std::move(graphs)), name_(std::move(name)) {
+  DG_REQUIRE(!graphs_.empty(), "trace network needs at least one graph");
+  for (const auto& g : graphs_) {
+    DG_REQUIRE(g.node_count() == graphs_.front().node_count(),
+               "all trace graphs must share the vertex set");
+  }
+}
+
+const Graph& TraceNetwork::graph_at(std::int64_t t, const InformedView&) {
+  DG_REQUIRE(t >= 0, "time steps are non-negative");
+  current_ = std::min(static_cast<std::size_t>(t), graphs_.size() - 1);
+  return graphs_[current_];
+}
+
+}  // namespace rumor

@@ -1,0 +1,71 @@
+// Non-adaptive dynamic networks: a fixed graph, a finite trace, or a periodic
+// schedule. These model the oblivious dynamic networks of the paper's general
+// theorems and serve as baselines in the experiments.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dynamic/dynamic_network.h"
+
+namespace rumor {
+
+// The static special case: G(t) = G for all t.
+class StaticNetwork final : public DynamicNetwork {
+ public:
+  explicit StaticNetwork(Graph g, std::string name = "static");
+
+  // Overrides the generic profile with an analytic one (optional).
+  void set_profile(const GraphProfile& p) { profile_ = p; }
+
+  NodeId node_count() const override { return graph_.node_count(); }
+  const Graph& graph_at(std::int64_t t, const InformedView& informed) override;
+  const Graph& current_graph() const override { return graph_; }
+  GraphProfile current_profile() const override;
+  std::string name() const override { return name_; }
+
+ private:
+  Graph graph_;
+  std::optional<GraphProfile> profile_;
+  mutable std::optional<GraphProfile> cached_generic_;  // lazy, graph is immutable
+  std::string name_;
+};
+
+// Cycles through a fixed list of graphs: G(t) = graphs[t mod period].
+class PeriodicNetwork final : public DynamicNetwork {
+ public:
+  explicit PeriodicNetwork(std::vector<Graph> graphs, std::string name = "periodic");
+
+  // Optional analytic profiles, one per phase graph.
+  void set_profiles(std::vector<GraphProfile> profiles);
+
+  NodeId node_count() const override { return graphs_.front().node_count(); }
+  const Graph& graph_at(std::int64_t t, const InformedView& informed) override;
+  const Graph& current_graph() const override { return graphs_[current_]; }
+  GraphProfile current_profile() const override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::vector<Graph> graphs_;
+  std::vector<GraphProfile> profiles_;  // empty = generic computation
+  std::size_t current_ = 0;
+  std::string name_;
+};
+
+// Plays a finite trace of graphs, then holds the last one forever.
+class TraceNetwork final : public DynamicNetwork {
+ public:
+  explicit TraceNetwork(std::vector<Graph> graphs, std::string name = "trace");
+
+  NodeId node_count() const override { return graphs_.front().node_count(); }
+  const Graph& graph_at(std::int64_t t, const InformedView& informed) override;
+  const Graph& current_graph() const override { return graphs_[current_]; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::vector<Graph> graphs_;
+  std::size_t current_ = 0;
+  std::string name_;
+};
+
+}  // namespace rumor

@@ -1,0 +1,49 @@
+// Graph conductance Φ(G) (paper Equation (2)):
+//
+//   Φ(G) = min over ∅ ≠ S ⊂ V of |E(S, S̄)| / min{vol(S), vol(S̄)}.
+//
+// Exact computation enumerates all subsets and is restricted to small n (it is
+// used by tests to validate the analytic formulas and the spectral bounds).
+// For larger graphs the Cheeger inequality gives a two-sided sandwich from the
+// second-smallest eigenvalue λ₂ of the normalized Laplacian:
+//
+//   λ₂ / 2  ≤  Φ(G)  ≤  sqrt(2 λ₂).
+//
+// λ₂ is computed by deflated power iteration, so the sandwich holds up to the
+// iteration error (which decays geometrically in the relative spectral gap).
+// Certified per-step values for the bound experiments come from the analytic
+// family profiles or exact small-n enumeration, not from this estimate.
+#pragma once
+
+#include "graph/graph.h"
+
+namespace rumor {
+
+// Exact conductance by subset enumeration; requires 2 <= n <= 24.
+// Returns 0 for disconnected graphs.
+double exact_conductance(const Graph& g);
+
+struct ConductanceBounds {
+  double lower = 0.0;  // λ₂ / 2
+  double upper = 0.0;  // sqrt(2 λ₂)
+  double lambda2 = 0.0;
+};
+
+// Cheeger sandwich via λ₂ of the normalized Laplacian, computed with deflated
+// power iteration. Returns all-zero bounds for disconnected or edgeless graphs.
+ConductanceBounds spectral_conductance_bounds(const Graph& g, int iterations = 600);
+
+// |E(S, S̄)| for a membership indicator (true = in S).
+std::int64_t cut_size(const Graph& g, const std::vector<bool>& in_s);
+
+// vol(S) for a membership indicator.
+std::int64_t subset_volume(const Graph& g, const std::vector<bool>& in_s);
+
+// Sweep-cut upper bound: evaluates Φ over every prefix of several vertex
+// orderings (BFS from extremal-degree nodes, degree-sorted) and returns the
+// best ratio found. Since Φ is a minimum over all cuts, any candidate yields
+// a valid upper bound; on many families (cycles, cliques, stars, bridged
+// cliques) a sweep prefix is the exact minimizer. O(orderings · m).
+double conductance_upper_bound_sweep(const Graph& g);
+
+}  // namespace rumor

@@ -1,0 +1,61 @@
+#include "graph/connectivity.h"
+
+#include <queue>
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+std::vector<int> component_labels(const Graph& g) {
+  const NodeId n = g.node_count();
+  std::vector<int> label(static_cast<std::size_t>(n), -1);
+  int next = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (label[s] != -1) continue;
+    label[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : g.neighbors(u)) {
+        if (label[v] == -1) {
+          label[v] = next;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+int component_count(const Graph& g) {
+  const auto labels = component_labels(g);
+  int max_label = -1;
+  for (int l : labels) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+bool is_connected(const Graph& g) { return component_count(g) <= 1; }
+
+std::vector<int> bfs_distances(const Graph& g, NodeId source) {
+  DG_REQUIRE(source >= 0 && source < g.node_count(), "source out of range");
+  std::vector<int> dist(static_cast<std::size_t>(g.node_count()), -1);
+  std::queue<NodeId> q;
+  dist[static_cast<std::size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(v)] == -1) {
+        dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace rumor

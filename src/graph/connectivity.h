@@ -1,0 +1,23 @@
+// Connectivity queries over Graph (BFS based).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rumor {
+
+// True iff the graph has at most one connected component (the empty and the
+// single-node graph count as connected).
+bool is_connected(const Graph& g);
+
+// Number of connected components.
+int component_count(const Graph& g);
+
+// Component label per node, labels in [0, component_count).
+std::vector<int> component_labels(const Graph& g);
+
+// BFS hop distances from `source`; unreachable nodes get -1.
+std::vector<int> bfs_distances(const Graph& g, NodeId source);
+
+}  // namespace rumor

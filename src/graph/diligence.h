@@ -1,0 +1,40 @@
+// Diligence ρ(G) and absolute diligence ρ̄(G), the paper's new cut parameters.
+//
+// For ∅ ≠ S ⊂ V with 0 < vol(S) ≤ vol(G)/2 and average degree
+// d̄(S) = vol(S)/|S|:
+//
+//   ρ(S) = min over {u,v} ∈ E(S, S̄) of max{ d̄(S)/d_u, d̄(S)/d_v }
+//   ρ(G) = min over such S of ρ(S);    ρ(G) := 0 if G is disconnected.
+//
+//   ρ̄(G) = min over {u,v} ∈ E of max{ 1/d_u, 1/d_v };  0 for an empty graph.
+//
+// Facts used throughout (and asserted in tests): 1/(n−1) ≤ ρ(G) ≤ 1 for
+// connected G; stars and regular graphs are 1-diligent; ρ̄ ≥ 1/(n−1) for
+// non-empty graphs.
+#pragma once
+
+#include "graph/graph.h"
+
+namespace rumor {
+
+// Exact diligence by subset enumeration; requires 2 <= n <= 24.
+double exact_diligence(const Graph& g);
+
+// Diligence of one cut: S given as a membership indicator. Returns +inf when
+// the cut has no crossing edges (vacuous minimum, per min over an empty set).
+double cut_diligence(const Graph& g, const std::vector<bool>& in_s);
+
+// Absolute diligence; exact for any size, O(m).
+double absolute_diligence(const Graph& g);
+
+// Cheap lower bound ρ(G) >= δ_min / Δ_max for connected graphs (d̄(S) ≥ δ_min
+// and every crossing-edge endpoint degree is ≤ Δ_max); 0 if disconnected.
+double diligence_lower_bound(const Graph& g);
+
+// Sweep-cut upper bound on ρ(G): evaluates ρ(S) over selected prefixes of
+// several vertex orderings (ρ is a min over cuts with vol(S) <= vol(G)/2, so
+// any admissible candidate upper-bounds it). Pairs with diligence_lower_bound
+// to bracket ρ at sizes where exact enumeration is infeasible.
+double diligence_upper_bound_sweep(const Graph& g);
+
+}  // namespace rumor

@@ -1,0 +1,39 @@
+// Additional graph families used by the examples and the extension
+// experiments: classic topologies (hypercube, torus, trees, barbells) and the
+// random social-network models that motivate rumor spreading in the
+// literature (Watts–Strogatz small worlds; Barabási–Albert preferential
+// attachment, the model class of [12] "social networks spread rumors in
+// sublogarithmic time").
+#pragma once
+
+#include "graph/graph.h"
+#include "stats/rng.h"
+
+namespace rumor {
+
+// d-dimensional hypercube on 2^dims nodes.
+Graph make_hypercube(int dims);
+
+// rows x cols torus grid (wrap-around in both dimensions); 4-regular for
+// rows, cols >= 3.
+Graph make_torus_grid(NodeId rows, NodeId cols);
+
+// Complete binary tree on n nodes (heap indexing: children of i are 2i+1,
+// 2i+2).
+Graph make_binary_tree(NodeId n);
+
+// Barbell: two cliques of size k joined by a path of `path_len` edges.
+Graph make_barbell(NodeId k, NodeId path_len);
+
+// Lollipop: a clique of size k with a path of `tail` extra nodes hanging off.
+Graph make_lollipop(NodeId k, NodeId tail);
+
+// Watts–Strogatz small world: ring lattice of even degree k, each edge
+// rewired with probability beta (self-loops/duplicates resampled).
+Graph watts_strogatz(Rng& rng, NodeId n, NodeId k, double beta);
+
+// Barabási–Albert preferential attachment: nodes arrive one by one, each
+// attaching m edges to existing nodes chosen proportionally to degree.
+Graph barabasi_albert(Rng& rng, NodeId n, NodeId m);
+
+}  // namespace rumor

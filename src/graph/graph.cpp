@@ -1,0 +1,72 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+namespace {
+std::atomic<std::uint64_t> g_next_version{1};
+}
+
+Graph::Graph(NodeId n, std::vector<Edge> edges)
+    : n_(n), edges_(std::move(edges)), version_(g_next_version.fetch_add(1)) {
+  DG_REQUIRE(n >= 0, "node count must be non-negative");
+
+  for (auto& e : edges_) {
+    DG_REQUIRE(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n, "edge endpoint out of range");
+    DG_REQUIRE(e.u != e.v, "self-loops are not allowed in a simple graph");
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges_.begin(), edges_.end(),
+            [](const Edge& a, const Edge& b) { return a.u < b.u || (a.u == b.u && a.v < b.v); });
+  for (std::size_t i = 1; i < edges_.size(); ++i) {
+    DG_REQUIRE(!(edges_[i] == edges_[i - 1]), "duplicate edge in a simple graph");
+  }
+
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& e : edges_) {
+    ++offsets_[static_cast<std::size_t>(e.u) + 1];
+    ++offsets_[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (NodeId u = 0; u < n; ++u) offsets_[static_cast<std::size_t>(u) + 1] += offsets_[u];
+
+  adjacency_.resize(edges_.size() * 2);
+  std::vector<std::int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& e : edges_) {
+    adjacency_[static_cast<std::size_t>(cursor[e.u]++)] = e.v;
+    adjacency_[static_cast<std::size_t>(cursor[e.v]++)] = e.u;
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    std::sort(adjacency_.begin() + offsets_[u], adjacency_.begin() + offsets_[u + 1]);
+  }
+
+  if (n > 0) {
+    min_degree_ = max_degree_ = degree(0);
+    for (NodeId u = 1; u < n; ++u) {
+      min_degree_ = std::min(min_degree_, degree(u));
+      max_degree_ = std::max(max_degree_, degree(u));
+    }
+  }
+}
+
+NodeId Graph::degree(NodeId u) const {
+  DG_REQUIRE(u >= 0 && u < n_, "node out of range");
+  return static_cast<NodeId>(offsets_[static_cast<std::size_t>(u) + 1] - offsets_[u]);
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId u) const {
+  DG_REQUIRE(u >= 0 && u < n_, "node out of range");
+  return {adjacency_.data() + offsets_[u],
+          static_cast<std::size_t>(offsets_[static_cast<std::size_t>(u) + 1] - offsets_[u])};
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto nb = neighbors(u);
+  DG_REQUIRE(v >= 0 && v < n_, "node out of range");
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+}  // namespace rumor

@@ -1,0 +1,66 @@
+// Immutable simple undirected graph in CSR (compressed sparse row) layout.
+//
+// A Graph is constructed once from an edge list and never mutated; the dynamic
+// networks of the paper expose a *sequence* of Graph values. Each instance
+// carries a process-unique version number so simulation engines can detect "the
+// topology actually changed at this step" with a single integer compare.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rumor {
+
+using NodeId = std::int32_t;
+
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  // Empty graph on zero nodes.
+  Graph() = default;
+
+  // Builds a simple graph on nodes {0, ..., n-1}. Edges are normalized to
+  // u < v; self-loops and duplicate edges are rejected.
+  Graph(NodeId n, std::vector<Edge> edges);
+
+  NodeId node_count() const { return n_; }
+  std::int64_t edge_count() const { return static_cast<std::int64_t>(edges_.size()); }
+
+  // Degree of node u.
+  NodeId degree(NodeId u) const;
+
+  // Neighbors of u in ascending order.
+  std::span<const NodeId> neighbors(NodeId u) const;
+
+  // Normalized (u < v) edges in lexicographic order.
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // Sum of all degrees (= 2m), the paper's vol(G).
+  std::int64_t volume() const { return 2 * edge_count(); }
+
+  NodeId min_degree() const { return min_degree_; }
+  NodeId max_degree() const { return max_degree_; }
+
+  // O(log deg) membership test.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  // Process-unique identity of this topology; bumped for every construction.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  NodeId n_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::int64_t> offsets_;  // CSR offsets, size n+1
+  std::vector<NodeId> adjacency_;      // CSR neighbor array, size 2m
+  NodeId min_degree_ = 0;
+  NodeId max_degree_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace rumor

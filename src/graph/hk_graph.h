@@ -1,0 +1,41 @@
+// The Section-4 graph H_{k,Δ}(A, B): a "string of complete bipartite graphs"
+// bridging two expanders.
+//
+// Construction (verbatim from the paper):
+//  1. Disjoint clusters S_0, ..., S_k, each of size Δ, with S_0 ⊂ A and
+//     S_1 ∪ ... ∪ S_k ⊂ B; consecutive clusters fully bipartitely connected.
+//  2. 4-regular expanders G_1 on A \ S_0 and G_2 on B \ (S_1 ∪ ... ∪ S_k);
+//     each node of S_0 gets Δ distinct neighbours in G_1, each node of S_k
+//     gets Δ distinct neighbours in G_2, spread so that every expander node's
+//     degree grows by at most an additive constant.
+//
+// Observation 4.1: Φ(H) = Θ(Δ² / (kΔ² + n)) and ρ(H) = Θ(1/Δ).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "stats/rng.h"
+
+namespace rumor {
+
+struct HkGraph {
+  Graph graph;
+  // clusters[i] is S_i, i = 0..k; clusters[0] ⊂ A.
+  std::vector<std::vector<NodeId>> clusters;
+  // Members of the two expanders (A \ S_0 and B \ ∪S_i).
+  std::vector<NodeId> expander_a;
+  std::vector<NodeId> expander_b;
+};
+
+// Builds H_{k,Δ}(A, B) over the given node sets (disjoint, union may be a
+// subset of a larger vertex universe — the graph is created on n_total nodes
+// so ids stay stable across dynamic steps; nodes outside A ∪ B stay isolated
+// only if n_total exceeds |A| + |B|, which callers of the dynamic family never
+// do).
+//
+// Requirements: Δ >= 1, k >= 1, |A| >= Δ + 5, |B| >= kΔ + 5.
+HkGraph build_hk_graph(Rng& rng, NodeId n_total, const std::vector<NodeId>& a_side,
+                       const std::vector<NodeId>& b_side, int k, NodeId delta);
+
+}  // namespace rumor

@@ -1,0 +1,130 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << "n " << g.node_count() << "\n";
+  for (const Edge& e : g.edges()) os << e.u << " " << e.v << "\n";
+}
+
+namespace {
+
+// Reads one edge-list block; stops at EOF or a "--" separator (consumed).
+// Returns false if the stream held no block at all.
+bool read_block(std::istream& is, NodeId& n, std::vector<Edge>& edges, bool& saw_separator) {
+  n = -1;
+  edges.clear();
+  saw_separator = false;
+  std::string line;
+  bool saw_any = false;
+  while (std::getline(is, line)) {
+    if (line == "--") {
+      saw_separator = true;
+      break;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    saw_any = true;
+    std::istringstream ss(line);
+    if (line[0] == 'n') {
+      char tag = 0;
+      ss >> tag >> n;
+      DG_REQUIRE(n >= 0, "invalid node count in edge list");
+      continue;
+    }
+    NodeId u = 0, v = 0;
+    ss >> u >> v;
+    DG_REQUIRE(!ss.fail(), "malformed edge line: " + line);
+    edges.push_back({u, v});
+  }
+  return saw_any;
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& is) {
+  NodeId n = -1;
+  std::vector<Edge> edges;
+  bool sep = false;
+  DG_REQUIRE(read_block(is, n, edges, sep), "stream held no edge list");
+  DG_REQUIRE(n >= 0, "edge list missing the 'n <count>' header");
+  return Graph(n, std::move(edges));
+}
+
+void write_trace(std::ostream& os, const std::vector<Graph>& graphs) {
+  DG_REQUIRE(!graphs.empty(), "trace must hold at least one graph");
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    if (i > 0) os << "--\n";
+    write_edge_list(os, graphs[i]);
+  }
+}
+
+std::vector<Graph> read_trace(std::istream& is) {
+  std::vector<Graph> graphs;
+  NodeId n_first = -1;
+  for (;;) {
+    NodeId n = -1;
+    std::vector<Edge> edges;
+    bool sep = false;
+    const bool any = read_block(is, n, edges, sep);
+    if (!any && !sep) break;
+    if (any) {
+      if (n_first < 0) {
+        DG_REQUIRE(n >= 0, "first trace block missing the 'n <count>' header");
+        n_first = n;
+      }
+      const NodeId use = n >= 0 ? n : n_first;
+      DG_REQUIRE(use == n_first, "all trace blocks must share the node count");
+      graphs.emplace_back(use, std::move(edges));
+    }
+    if (!sep) break;
+  }
+  DG_REQUIRE(!graphs.empty(), "stream held no trace");
+  return graphs;
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  DG_REQUIRE(out.good(), "cannot open for writing: " + path);
+  write_edge_list(out, g);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream in(path);
+  DG_REQUIRE(in.good(), "cannot open for reading: " + path);
+  return read_edge_list(in);
+}
+
+void save_trace(const std::string& path, const std::vector<Graph>& graphs) {
+  std::ofstream out(path);
+  DG_REQUIRE(out.good(), "cannot open for writing: " + path);
+  write_trace(out, graphs);
+}
+
+std::vector<Graph> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  DG_REQUIRE(in.good(), "cannot open for reading: " + path);
+  return read_trace(in);
+}
+
+void write_dot(std::ostream& os, const Graph& g, const std::vector<std::uint8_t>& informed) {
+  DG_REQUIRE(informed.empty() || informed.size() == static_cast<std::size_t>(g.node_count()),
+             "informed indicator size must match the node count");
+  os << "graph G {\n  node [shape=circle];\n";
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    os << "  " << u;
+    if (!informed.empty() && informed[static_cast<std::size_t>(u)] != 0) {
+      os << " [style=filled, fillcolor=lightblue]";
+    }
+    os << ";\n";
+  }
+  for (const Edge& e : g.edges()) os << "  " << e.u << " -- " << e.v << ";\n";
+  os << "}\n";
+}
+
+}  // namespace rumor

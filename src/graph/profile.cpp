@@ -1,0 +1,28 @@
+#include "graph/profile.h"
+
+#include "graph/conductance.h"
+#include "graph/connectivity.h"
+#include "graph/diligence.h"
+
+namespace rumor {
+
+GraphProfile compute_profile(const Graph& g, NodeId exact_threshold) {
+  GraphProfile p;
+  if (g.node_count() < 2 || g.edge_count() == 0) return p;
+  p.connected = is_connected(g);
+  p.abs_diligence = absolute_diligence(g);
+  if (!p.connected) return p;  // paper: ρ(G) = 0, Φ contributes nothing
+
+  if (g.node_count() <= exact_threshold) {
+    p.conductance = exact_conductance(g);
+    p.diligence = exact_diligence(g);
+    p.exact = true;
+  } else {
+    p.conductance = spectral_conductance_bounds(g).lower;
+    p.diligence = diligence_lower_bound(g);
+    p.exact = false;
+  }
+  return p;
+}
+
+}  // namespace rumor

@@ -1,0 +1,38 @@
+// GraphProfile: the per-step quantities the paper's bounds consume.
+//
+// Theorem 1.1 accumulates Φ(G(t))·ρ(G(t)); Theorem 1.3 accumulates
+// ⌈Φ(G(t))⌉·ρ̄(G(t)) where ⌈Φ⌉ is the connectivity indicator. Dynamic network
+// families supply these analytically (with the paper's Θ-expressions); the
+// generic fallback computes exact values for small graphs and, for larger
+// ones, the spectral Cheeger estimate λ₂/2 for Φ (approximate up to power-
+// iteration error) together with the certified bound δ_min/Δ_max ≤ ρ.
+// Under-estimates can only delay the predicted crossing time, keeping
+// Theorem 1.1/1.3 valid as upper bounds; the bound experiments therefore use
+// analytic family profiles or exact small-n values, never the spectral
+// estimate.
+#pragma once
+
+#include "graph/graph.h"
+
+namespace rumor {
+
+struct GraphProfile {
+  double conductance = 0.0;     // Φ(G), or a lower bound on it
+  double diligence = 0.0;       // ρ(G), or a lower bound on it
+  double abs_diligence = 0.0;   // ρ̄(G), exact
+  bool connected = false;       // ⌈Φ(G)⌉ in the paper's notation
+  bool exact = false;           // true when Φ and ρ are exact values
+
+  // The Theorem 1.1 summand Φ·ρ.
+  double phi_rho() const { return conductance * diligence; }
+  // The Theorem 1.3 summand ⌈Φ⌉·ρ̄.
+  double ceil_phi_abs_rho() const { return connected ? abs_diligence : 0.0; }
+};
+
+// Generic profile computation:
+//  * n <= exact_threshold: exact Φ (subset enumeration) and exact ρ;
+//  * otherwise: spectral Cheeger lower bound for Φ and δ_min/Δ_max for ρ.
+// ρ̄ and connectivity are always exact.
+GraphProfile compute_profile(const Graph& g, NodeId exact_threshold = 16);
+
+}  // namespace rumor

@@ -1,0 +1,137 @@
+// Sweep-cut upper bounds for conductance and diligence.
+//
+// Both parameters are minima over cuts, so evaluating them on any family of
+// candidate cuts yields upper bounds. The candidates here are the prefixes of
+// a few natural vertex orderings: breadth-first search from the minimum- and
+// maximum-degree nodes (captures "ball" cuts — cycle arcs, cluster layers of
+// H_{k,Δ}, the cliques of bridged graphs) and degree-sorted order (captures
+// "all the leaves" cuts of stars and hubs).
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "graph/conductance.h"
+#include "graph/connectivity.h"
+#include "graph/diligence.h"
+#include "support/contracts.h"
+
+namespace rumor {
+
+namespace {
+
+std::vector<NodeId> bfs_order(const Graph& g, NodeId source) {
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(g.node_count()));
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(g.node_count()), 0);
+  std::queue<NodeId> q;
+  q.push(source);
+  seen[static_cast<std::size_t>(source)] = 1;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    order.push_back(u);
+    for (NodeId v : g.neighbors(u)) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        q.push(v);
+      }
+    }
+  }
+  // Append unreachable nodes (callers guard on connectivity anyway).
+  for (NodeId u = 0; u < g.node_count(); ++u)
+    if (!seen[static_cast<std::size_t>(u)]) order.push_back(u);
+  return order;
+}
+
+std::vector<std::vector<NodeId>> candidate_orderings(const Graph& g) {
+  NodeId min_deg_node = 0, max_deg_node = 0;
+  for (NodeId u = 1; u < g.node_count(); ++u) {
+    if (g.degree(u) < g.degree(min_deg_node)) min_deg_node = u;
+    if (g.degree(u) > g.degree(max_deg_node)) max_deg_node = u;
+  }
+  std::vector<std::vector<NodeId>> orderings;
+  orderings.push_back(bfs_order(g, min_deg_node));
+  if (max_deg_node != min_deg_node) orderings.push_back(bfs_order(g, max_deg_node));
+
+  std::vector<NodeId> by_degree(static_cast<std::size_t>(g.node_count()));
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&g](NodeId a, NodeId b) { return g.degree(a) < g.degree(b); });
+  orderings.push_back(std::move(by_degree));
+  return orderings;
+}
+
+}  // namespace
+
+double conductance_upper_bound_sweep(const Graph& g) {
+  DG_REQUIRE(g.node_count() >= 2, "conductance needs at least two nodes");
+  if (!is_connected(g) || g.edge_count() == 0) return 0.0;
+
+  const std::int64_t vol_g = g.volume();
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<std::uint8_t> in_s(static_cast<std::size_t>(g.node_count()));
+
+  for (const auto& order : candidate_orderings(g)) {
+    std::fill(in_s.begin(), in_s.end(), 0);
+    std::int64_t cut = 0;
+    std::int64_t vol_s = 0;
+    // Incremental sweep: moving v into S flips its edges' crossing status.
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      const NodeId v = order[i];
+      std::int64_t inside = 0;
+      for (NodeId w : g.neighbors(v))
+        if (in_s[static_cast<std::size_t>(w)]) ++inside;
+      cut += g.degree(v) - 2 * inside;
+      vol_s += g.degree(v);
+      in_s[static_cast<std::size_t>(v)] = 1;
+      const std::int64_t vol_min = std::min(vol_s, vol_g - vol_s);
+      if (vol_min <= 0) continue;
+      best = std::min(best, static_cast<double>(cut) / static_cast<double>(vol_min));
+    }
+  }
+  return best;
+}
+
+double diligence_upper_bound_sweep(const Graph& g) {
+  DG_REQUIRE(g.node_count() >= 2, "diligence needs at least two nodes");
+  if (!is_connected(g) || g.edge_count() == 0) return 0.0;
+
+  const std::int64_t vol_g = g.volume();
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<bool> in_s(static_cast<std::size_t>(g.node_count()));
+
+  for (const auto& order : candidate_orderings(g)) {
+    // Admissible prefix sizes: powers of two plus the largest prefix with
+    // vol(S) <= vol(G)/2 (ρ's constraint). cut_diligence is O(m), so the
+    // candidate count stays O(log n) per ordering.
+    std::vector<std::size_t> sizes;
+    for (std::size_t s = 1; s < order.size(); s *= 2) sizes.push_back(s);
+    // Find the half-volume prefix.
+    std::int64_t vol_s = 0;
+    std::size_t half_prefix = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      vol_s += g.degree(order[i]);
+      if (2 * vol_s <= vol_g) half_prefix = i + 1;
+    }
+    if (half_prefix >= 1) sizes.push_back(half_prefix);
+
+    for (std::size_t size : sizes) {
+      if (size == 0 || size >= order.size()) continue;
+      std::fill(in_s.begin(), in_s.end(), false);
+      std::int64_t vol = 0;
+      for (std::size_t i = 0; i < size; ++i) {
+        in_s[static_cast<std::size_t>(order[i])] = true;
+        vol += g.degree(order[i]);
+      }
+      if (vol <= 0 || 2 * vol > vol_g) continue;
+      best = std::min(best, cut_diligence(g, in_s));
+    }
+  }
+  // No admissible candidate (e.g. a star's half-volume constraint excludes
+  // every sweep prefix containing the centre): fall back to the trivial 1.
+  return std::min(best, 1.0);
+}
+
+}  // namespace rumor

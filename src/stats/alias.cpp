@@ -1,0 +1,50 @@
+#include "stats/alias.h"
+
+#include <numeric>
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+void AliasTable::build(const std::vector<double>& weights) {
+  DG_REQUIRE(!weights.empty(), "alias table needs at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    DG_REQUIRE(w >= 0.0, "alias weights must be non-negative");
+    total += w;
+  }
+  DG_REQUIRE(total > 0.0, "alias weights must have a positive sum");
+
+  const std::size_t n = weights.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+  std::vector<std::size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) (scaled[i] < 1.0 ? small : large).push_back(i);
+
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (std::size_t i : large) prob_[i] = 1.0;
+  for (std::size_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+std::size_t AliasTable::sample(Rng& rng) const {
+  DG_REQUIRE(!prob_.empty(), "alias table not built");
+  const std::size_t column = static_cast<std::size_t>(rng.below(prob_.size()));
+  return rng.uniform() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace rumor

@@ -1,0 +1,33 @@
+// Walker/Vose alias table: O(1) sampling from a fixed discrete distribution
+// after O(n) preprocessing. Used where the weight set is static for the
+// lifetime of a sampling loop (e.g. degree-proportional source selection in
+// workload generators); the Fenwick tree covers the dynamic case.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace rumor {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+  explicit AliasTable(const std::vector<double>& weights) { build(weights); }
+
+  // Builds the table; weights must be non-negative with a positive sum.
+  void build(const std::vector<double>& weights);
+
+  std::size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+  // Samples an index proportionally to the build weights.
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::size_t> alias_;
+};
+
+}  // namespace rumor

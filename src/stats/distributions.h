@@ -1,0 +1,36 @@
+// Samplers for the distributions the rumor-spreading analysis lives on:
+// exponential clocks, Poisson counts (Lemma 2.2), geometric round counts
+// (Theorem 1.7(iii) proof), and binomials for the synchronous analysis.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/rng.h"
+
+namespace rumor {
+
+// Exponential(rate): inverse-CDF sampling. rate must be > 0.
+double sample_exponential(Rng& rng, double rate);
+
+// Poisson(mean): Knuth's product method for small means, the PTRS
+// transformed-rejection sampler (Hörmann 1993) for large means.
+std::int64_t sample_poisson(Rng& rng, double mean);
+
+// Geometric: number of Bernoulli(p) failures before the first success (>= 0).
+std::int64_t sample_geometric(Rng& rng, double p);
+
+// Binomial(n, p): inversion for small n*p, otherwise sums of Poisson-split
+// recursion is unnecessary — we use straightforward BTPE-free inversion with a
+// waiting-time trick for small p and direct Bernoulli summation fallback.
+std::int64_t sample_binomial(Rng& rng, std::int64_t n, double p);
+
+// Exact CDF helpers used to check the paper's tail bounds.
+
+// Pr[Poisson(mean) <= k], computed by direct stable summation.
+double poisson_cdf(double mean, std::int64_t k);
+
+// ln Gamma via Stirling/Lanczos (thin wrapper over std::lgamma; kept here so
+// callers do not depend on <cmath> details).
+double log_gamma(double x);
+
+}  // namespace rumor

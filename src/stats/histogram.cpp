@@ -1,0 +1,64 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  DG_REQUIRE(hi > lo, "histogram range must be non-empty");
+  DG_REQUIRE(bins > 0, "histogram needs at least one bin");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                            static_cast<double>(counts_.size()));
+  ++counts_[std::min(bin, counts_.size() - 1)];
+}
+
+std::int64_t Histogram::count(std::size_t bin) const {
+  DG_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  DG_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t bin) const {
+  DG_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin + 1) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::int64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char buf[128];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = static_cast<std::size_t>(static_cast<double>(counts_[b]) /
+                                              static_cast<double>(peak) *
+                                              static_cast<double>(max_width));
+    std::snprintf(buf, sizeof buf, "[%8.3g, %8.3g) %8lld |", bin_low(b), bin_high(b),
+                  static_cast<long long>(counts_[b]));
+    out += buf;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rumor

@@ -1,0 +1,40 @@
+// Fixed-width histogram for distribution-shaped experiment outputs
+// (e.g. the tail of the dynamic-star spread time, experiment E8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rumor {
+
+class Histogram {
+ public:
+  // [lo, hi) split into `bins` equal cells, plus underflow/overflow counters.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::int64_t count(std::size_t bin) const;
+  std::int64_t underflow() const { return underflow_; }
+  std::int64_t overflow() const { return overflow_; }
+  std::int64_t total() const { return total_; }
+
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const;
+
+  // Fraction of samples strictly above x (for empirical tail probabilities;
+  // exact, computed from the raw count bookkeeping, not the binning).
+  // Renders an ASCII bar chart, one line per bin.
+  std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace rumor

@@ -1,0 +1,45 @@
+#include "stats/ks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+double kolmogorov_survival(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_two_sample(std::vector<double> a, std::vector<double> b) {
+  DG_REQUIRE(!a.empty() && !b.empty(), "KS test requires non-empty samples");
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+
+  const auto na = static_cast<double>(a.size());
+  const auto nb = static_cast<double>(b.size());
+  std::size_t ia = 0, ib = 0;
+  double d = 0.0;
+  while (ia < a.size() && ib < b.size()) {
+    const double x = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] <= x) ++ia;
+    while (ib < b.size() && b[ib] <= x) ++ib;
+    d = std::max(d, std::abs(static_cast<double>(ia) / na - static_cast<double>(ib) / nb));
+  }
+
+  const double en = std::sqrt(na * nb / (na + nb));
+  // Stephens' small-sample correction.
+  const double lambda = (en + 0.12 + 0.11 / en) * d;
+  return {d, kolmogorov_survival(lambda)};
+}
+
+}  // namespace rumor

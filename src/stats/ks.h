@@ -1,0 +1,23 @@
+// Two-sample Kolmogorov–Smirnov test.
+//
+// Used by the engine-equivalence tests: the full-fidelity tick engine and the
+// event-driven jump engine must produce spread-time samples from the same
+// distribution; the KS test quantifies that with a p-value.
+#pragma once
+
+#include <vector>
+
+namespace rumor {
+
+struct KsResult {
+  double statistic = 0.0;  // sup-norm distance between empirical CDFs
+  double p_value = 1.0;    // asymptotic Kolmogorov p-value
+};
+
+// Both samples must be non-empty.
+KsResult ks_two_sample(std::vector<double> a, std::vector<double> b);
+
+// Asymptotic Kolmogorov survival function Q(lambda) = 2 * sum (-1)^{k-1} e^{-2 k^2 lambda^2}.
+double kolmogorov_survival(double lambda);
+
+}  // namespace rumor

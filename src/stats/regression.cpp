@@ -1,0 +1,56 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  DG_REQUIRE(x.size() == y.size(), "x and y must have equal length");
+  DG_REQUIRE(x.size() >= 2, "need at least two points to fit a line");
+
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  DG_REQUIRE(sxx > 0.0, "x values must not all be equal");
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss_res += r * r;
+  }
+  fit.r_squared = syy > 0.0 ? 1.0 - ss_res / syy : 1.0;
+  if (x.size() > 2) {
+    fit.slope_stderr = std::sqrt(ss_res / (n - 2.0) / sxx);
+  }
+  return fit;
+}
+
+LinearFit fit_power_law(const std::vector<double>& x, const std::vector<double>& y) {
+  DG_REQUIRE(x.size() == y.size(), "x and y must have equal length");
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    DG_REQUIRE(x[i] > 0.0 && y[i] > 0.0, "power-law fit needs positive data");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return fit_linear(lx, ly);
+}
+
+}  // namespace rumor

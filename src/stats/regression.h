@@ -1,0 +1,25 @@
+// Least-squares fits used to report empirical scaling laws.
+//
+// The benches verify statements like "spread time grows as Θ(n²)" by fitting
+// log(T) = a + b·log(n) and reporting the exponent b with its standard error.
+#pragma once
+
+#include <vector>
+
+namespace rumor {
+
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double slope_stderr = 0.0;
+  double r_squared = 0.0;
+};
+
+// Ordinary least squares of y on x; needs at least two distinct x values.
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+// Fits y = exp(a) * x^b by OLS in log–log space; all inputs must be positive.
+// The returned slope is the scaling exponent b.
+LinearFit fit_power_law(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace rumor

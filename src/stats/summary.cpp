@@ -1,0 +1,98 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::mean() const {
+  DG_REQUIRE(count_ > 0, "mean of an empty sample");
+  return mean_;
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::stderr_mean() const {
+  if (count_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double OnlineStats::min() const {
+  DG_REQUIRE(count_ > 0, "min of an empty sample");
+  return min_;
+}
+
+double OnlineStats::max() const {
+  DG_REQUIRE(count_ > 0, "max of an empty sample");
+  return max_;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (sorted_.size() != values_.size()) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+}
+
+double SampleSet::mean() const {
+  DG_REQUIRE(!values_.empty(), "mean of an empty sample");
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double SampleSet::variance() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double v : values_) s += (v - m) * (v - m);
+  return s / static_cast<double>(values_.size() - 1);
+}
+
+double SampleSet::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::min() const {
+  ensure_sorted();
+  DG_REQUIRE(!sorted_.empty(), "min of an empty sample");
+  return sorted_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  DG_REQUIRE(!sorted_.empty(), "max of an empty sample");
+  return sorted_.back();
+}
+
+double SampleSet::quantile(double q) const {
+  DG_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must lie in [0,1]");
+  ensure_sorted();
+  DG_REQUIRE(!sorted_.empty(), "quantile of an empty sample");
+  if (sorted_.size() == 1) return sorted_[0];
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+}  // namespace rumor

@@ -1,0 +1,57 @@
+// Streaming and batch summary statistics for experiment outputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rumor {
+
+// Welford's online algorithm: numerically stable running mean/variance.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return count_; }
+  double mean() const;
+  // Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  // Standard error of the mean.
+  double stderr_mean() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Batch summary retaining the sample for quantile queries.
+class SampleSet {
+ public:
+  void add(double x) { values_.push_back(x); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  // Linear-interpolation quantile, q in [0,1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;  // lazily maintained sort cache
+  void ensure_sorted() const;
+};
+
+}  // namespace rumor

@@ -1,0 +1,31 @@
+// Minimal command-line option parser for the benches and examples.
+//
+// Options take the form --name=value or --name value. Unknown options raise a
+// precondition failure so typos surface immediately. Every accessor supplies a
+// default, keeping all binaries runnable with no arguments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rumor {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace rumor

@@ -1,0 +1,33 @@
+#include "support/contracts.h"
+
+namespace rumor::detail {
+
+namespace {
+std::string compose(const char* kind, const char* expr, const char* file, int line,
+                    const std::string& msg) {
+  std::string out = kind;
+  out += " failed: ";
+  out += expr;
+  out += " at ";
+  out += file;
+  out += ":";
+  out += std::to_string(line);
+  if (!msg.empty()) {
+    out += " — ";
+    out += msg;
+  }
+  return out;
+}
+}  // namespace
+
+void throw_require_failure(const char* expr, const char* file, int line,
+                           const std::string& msg) {
+  throw std::invalid_argument(compose("precondition", expr, file, line, msg));
+}
+
+void throw_assert_failure(const char* expr, const char* file, int line,
+                          const std::string& msg) {
+  throw std::logic_error(compose("invariant", expr, file, line, msg));
+}
+
+}  // namespace rumor::detail

@@ -1,0 +1,33 @@
+// Contract-checking macros in the spirit of the Core Guidelines' Expects/Ensures.
+//
+// DG_REQUIRE  -- precondition on a public API; violation throws std::invalid_argument.
+// DG_ASSERT   -- internal invariant; violation throws std::logic_error.
+// DG_ENSURE   -- postcondition; violation throws std::logic_error.
+//
+// All three are always on: the simulator's correctness claims rest on these
+// invariants and their cost is negligible relative to the random-number work.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rumor::detail {
+
+[[noreturn]] void throw_require_failure(const char* expr, const char* file, int line,
+                                        const std::string& msg);
+[[noreturn]] void throw_assert_failure(const char* expr, const char* file, int line,
+                                       const std::string& msg);
+
+}  // namespace rumor::detail
+
+#define DG_REQUIRE(expr, msg)                                                    \
+  do {                                                                           \
+    if (!(expr)) ::rumor::detail::throw_require_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define DG_ASSERT(expr, msg)                                                     \
+  do {                                                                           \
+    if (!(expr)) ::rumor::detail::throw_assert_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define DG_ENSURE(expr, msg) DG_ASSERT(expr, msg)

@@ -1,0 +1,50 @@
+#include "support/sparkline.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+std::string sparkline(const std::vector<std::pair<double, std::int64_t>>& trace,
+                      std::size_t width, std::int64_t max_count) {
+  DG_REQUIRE(width >= 1, "sparkline needs positive width");
+  if (trace.empty()) return "";
+
+  const double t0 = trace.front().first;
+  const double t1 = trace.back().first;
+  const double span = std::max(t1 - t0, 1e-12);
+
+  std::int64_t peak = max_count;
+  if (peak < 0) {
+    peak = 0;
+    for (const auto& [t, c] : trace) peak = std::max(peak, c);
+  }
+  if (peak <= 0) peak = 1;
+
+  // Bucket maxima; carry the last seen value forward so flat periods render.
+  std::vector<std::int64_t> buckets(width, 0);
+  std::size_t cursor = 0;
+  std::int64_t last = trace.front().second;
+  for (std::size_t b = 0; b < width; ++b) {
+    const double window_end = t0 + span * static_cast<double>(b + 1) / static_cast<double>(width);
+    std::int64_t best = last;
+    while (cursor < trace.size() && trace[cursor].first <= window_end + 1e-12) {
+      best = std::max(best, trace[cursor].second);
+      last = trace[cursor].second;
+      ++cursor;
+    }
+    buckets[b] = best;
+  }
+
+  static const char* levels[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  std::string out;
+  for (std::int64_t c : buckets) {
+    const auto idx = static_cast<std::size_t>(
+        std::min<std::int64_t>(8, (c * 8 + peak - 1) / peak));
+    out += levels[idx];
+  }
+  return out;
+}
+
+}  // namespace rumor

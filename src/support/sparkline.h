@@ -1,0 +1,21 @@
+// ASCII sparkline rendering for informed-count traces.
+//
+// Turns a (time, count) trace into a fixed-width single-line chart using
+// eight block glyph levels — handy in example binaries to show spread
+// progress without plotting dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rumor {
+
+// Renders `width` buckets; each bucket shows the maximum count observed in
+// its time window, scaled to [0, max_count]. Empty traces yield an empty
+// string.
+std::string sparkline(const std::vector<std::pair<double, std::int64_t>>& trace,
+                      std::size_t width = 60, std::int64_t max_count = -1);
+
+}  // namespace rumor

@@ -1,0 +1,40 @@
+// Aligned plain-text table printer used by the experiment benches.
+//
+// The experiment harnesses print one row per parameter point; columns are
+// fixed up front so successive runs can be diffed. Cells are formatted with a
+// compact "%g-like" representation with a configurable precision.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rumor {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  // Cell formatting helpers.
+  static std::string cell(double v, int precision = 4);
+  static std::string cell(std::int64_t v);
+  static std::string cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+  static std::string cell(std::size_t v) { return cell(static_cast<std::int64_t>(v)); }
+
+  // Renders the table with a header separator, padding every column to its
+  // widest cell.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rumor

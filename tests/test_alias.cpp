@@ -1,0 +1,69 @@
+// Unit tests for the Walker/Vose alias table.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/alias.h"
+
+namespace rumor {
+namespace {
+
+TEST(Alias, RejectsInvalidWeights) {
+  AliasTable t;
+  EXPECT_THROW(t.build({}), std::invalid_argument);
+  EXPECT_THROW(t.build({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(t.build({1.0, -1.0}), std::invalid_argument);
+  Rng rng(1);
+  EXPECT_THROW(t.sample(rng), std::invalid_argument);  // not built
+}
+
+TEST(Alias, SingleElementAlwaysSelected) {
+  AliasTable t({3.0});
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t.sample(rng), 0u);
+}
+
+TEST(Alias, MatchesWeightsStatistically) {
+  AliasTable t({1.0, 2.0, 3.0, 4.0});
+  Rng rng(3);
+  std::vector<int> counts(4, 0);
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) ++counts[t.sample(rng)];
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double expected = (static_cast<double>(i) + 1.0) / 10.0;
+    EXPECT_NEAR(counts[i] / static_cast<double>(samples), expected, 0.01);
+  }
+}
+
+TEST(Alias, ZeroWeightEntriesNeverSampled) {
+  AliasTable t({0.0, 1.0, 0.0, 1.0, 0.0});
+  Rng rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    const auto s = t.sample(rng);
+    EXPECT_TRUE(s == 1u || s == 3u);
+  }
+}
+
+TEST(Alias, HighlySkewedWeights) {
+  AliasTable t({1e-6, 1.0});
+  Rng rng(5);
+  int zero = 0;
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i)
+    if (t.sample(rng) == 0u) ++zero;
+  EXPECT_LT(zero, 20);  // expected ~0.1
+}
+
+TEST(Alias, UniformWeightsAreUniform) {
+  const std::size_t k = 7;
+  AliasTable t(std::vector<double>(k, 2.5));
+  Rng rng(6);
+  std::vector<int> counts(k, 0);
+  const int samples = 140000;
+  for (int i = 0; i < samples; ++i) ++counts[t.sample(rng)];
+  for (auto c : counts)
+    EXPECT_NEAR(c / static_cast<double>(samples), 1.0 / static_cast<double>(k), 0.01);
+}
+
+}  // namespace
+}  // namespace rumor

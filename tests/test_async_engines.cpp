@@ -1,0 +1,267 @@
+// Tests for the asynchronous engines: completion, monotonicity, known spread
+// scales, protocol semantics, and — crucially — the distributional equivalence
+// of the exact event-driven (jump) engine and the full-fidelity (tick) engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/async_engine.h"
+#include "dynamic/dynamic_star.h"
+#include "dynamic/simple_networks.h"
+#include "graph/builders.h"
+#include "graph/random_graphs.h"
+#include "stats/ks.h"
+#include "stats/summary.h"
+
+namespace rumor {
+namespace {
+
+SpreadResult jump_once(const Graph& g, NodeId source, std::uint64_t seed,
+                       AsyncOptions opt = {}) {
+  StaticNetwork net(g);
+  Rng rng(seed);
+  return run_async_jump(net, source, rng, opt);
+}
+
+SpreadResult tick_once(const Graph& g, NodeId source, std::uint64_t seed,
+                       AsyncOptions opt = {}) {
+  StaticNetwork net(g);
+  Rng rng(seed);
+  return run_async_tick(net, source, rng, opt);
+}
+
+TEST(JumpEngine, CompletesOnConnectedGraphs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto r = jump_once(make_clique(32), 0, seed);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.informed_count, 32);
+    EXPECT_GT(r.spread_time, 0.0);
+    EXPECT_EQ(r.informative_contacts, 31);  // exactly n-1 infections
+  }
+}
+
+TEST(JumpEngine, SingleNodeIsInstant) {
+  const auto r = jump_once(Graph(1, {}), 0, 1);
+  EXPECT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.spread_time, 0.0);
+}
+
+TEST(JumpEngine, DisconnectedNeverCompletes) {
+  AsyncOptions opt;
+  opt.time_limit = 50.0;
+  const auto r = jump_once(Graph(4, {{0, 1}, {2, 3}}), 0, 1, opt);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.informed_count, 2);
+  EXPECT_DOUBLE_EQ(r.spread_time, 50.0);
+}
+
+TEST(JumpEngine, TraceIsMonotone) {
+  AsyncOptions opt;
+  opt.record_trace = true;
+  const auto r = jump_once(make_cycle(24), 3, 7, opt);
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.trace.size(), 24u);
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_GT(r.trace[i].first, r.trace[i - 1].first);
+    EXPECT_EQ(r.trace[i].second, r.trace[i - 1].second + 1);
+  }
+}
+
+TEST(JumpEngine, RejectsBadArguments) {
+  StaticNetwork net(make_clique(4));
+  Rng rng(1);
+  EXPECT_THROW(run_async_jump(net, 9, rng), std::invalid_argument);
+  AsyncOptions opt;
+  opt.clock_rate = 0.0;
+  EXPECT_THROW(run_async_jump(net, 0, rng, opt), std::invalid_argument);
+}
+
+TEST(TickEngine, CountsAllContacts) {
+  const auto r = tick_once(make_clique(16), 0, 3);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.total_contacts, r.informative_contacts);
+  EXPECT_EQ(r.informative_contacts, 15);
+}
+
+TEST(TickEngine, DeterministicForSeed) {
+  const auto a = tick_once(make_clique(16), 0, 9);
+  const auto b = tick_once(make_clique(16), 0, 9);
+  EXPECT_DOUBLE_EQ(a.spread_time, b.spread_time);
+  EXPECT_EQ(a.total_contacts, b.total_contacts);
+}
+
+TEST(JumpEngine, DeterministicForSeed) {
+  const auto a = jump_once(make_star(40), 1, 11);
+  const auto b = jump_once(make_star(40), 1, 11);
+  EXPECT_DOUBLE_EQ(a.spread_time, b.spread_time);
+}
+
+TEST(AsyncSpread, CliqueIsLogarithmic) {
+  // Async push-pull on K_n completes in Θ(log n) time; the constant is small.
+  for (NodeId n : {64, 256}) {
+    SampleSet s;
+    for (std::uint64_t seed = 0; seed < 20; ++seed)
+      s.add(jump_once(make_clique(n), 0, 100 + seed).spread_time);
+    const double ln_n = std::log(static_cast<double>(n));
+    EXPECT_GT(s.mean(), 0.5 * ln_n);
+    EXPECT_LT(s.mean(), 6.0 * ln_n);
+  }
+}
+
+TEST(AsyncSpread, StarIsLogarithmic) {
+  SampleSet s;
+  for (std::uint64_t seed = 0; seed < 20; ++seed)
+    s.add(jump_once(make_star(257), 1, 200 + seed).spread_time);
+  const double ln_n = std::log(257.0);
+  EXPECT_GT(s.mean(), 0.3 * ln_n);
+  EXPECT_LT(s.mean(), 6.0 * ln_n);
+}
+
+TEST(AsyncSpread, PathIsLinear) {
+  // On a path the rumor walks: Θ(n) time.
+  const NodeId n = 64;
+  SampleSet s;
+  for (std::uint64_t seed = 0; seed < 10; ++seed)
+    s.add(jump_once(make_path(n), 0, 300 + seed).spread_time);
+  EXPECT_GT(s.mean(), 0.2 * n);
+  EXPECT_LT(s.mean(), 4.0 * n);
+}
+
+TEST(Protocols, PushOnlyCannotLeaveSourceOnStarLeaf) {
+  // Push from a leaf must first hit the centre; pull-only from the centre
+  // side behaves differently. Sanity-check all protocols complete on a star.
+  for (Protocol proto : {Protocol::push, Protocol::pull, Protocol::push_pull}) {
+    AsyncOptions opt;
+    opt.protocol = proto;
+    const auto r = jump_once(make_star(20), 1, 17, opt);
+    EXPECT_TRUE(r.completed) << to_string(proto);
+  }
+}
+
+TEST(Protocols, PushPullFasterThanPushOnStar) {
+  // Pull drains the star centre in parallel; push alone serializes on the
+  // centre's clock. Push-only must be significantly slower on average.
+  const NodeId n = 101;
+  SampleSet pp, push;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    AsyncOptions opt;
+    opt.protocol = Protocol::push_pull;
+    pp.add(jump_once(make_star(n), 1, 400 + seed, opt).spread_time);
+    opt.protocol = Protocol::push;
+    push.add(jump_once(make_star(n), 1, 400 + seed, opt).spread_time);
+  }
+  EXPECT_GT(push.mean(), 3.0 * pp.mean());
+}
+
+TEST(Protocols, ClockRateScalesTimeInversely) {
+  // Doubling every clock halves the spread time in distribution.
+  SampleSet base, doubled;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    AsyncOptions opt;
+    base.add(jump_once(make_clique(64), 0, 500 + seed, opt).spread_time);
+    opt.clock_rate = 2.0;
+    doubled.add(jump_once(make_clique(64), 0, 800 + seed, opt).spread_time);
+  }
+  EXPECT_NEAR(base.mean() / doubled.mean(), 2.0, 0.5);
+}
+
+TEST(Protocols, TwoPushEqualsPushPullOnRegularGraphs) {
+  // Section 5.2: on Δ-regular graphs push-pull at rate 1 and push-only at
+  // rate 2 pick every crossing edge at the same rate 2/Δ, so the spread-time
+  // distributions coincide. Validated with a KS test.
+  const Graph g = make_regular_circulant(48, 6);
+  std::vector<double> pp, push2;
+  for (std::uint64_t seed = 0; seed < 150; ++seed) {
+    AsyncOptions opt;
+    opt.protocol = Protocol::push_pull;
+    pp.push_back(jump_once(g, 0, 1000 + seed, opt).spread_time);
+    opt.protocol = Protocol::push;
+    opt.clock_rate = 2.0;
+    push2.push_back(jump_once(g, 0, 2000 + seed, opt).spread_time);
+  }
+  const auto ks = ks_two_sample(pp, push2);
+  EXPECT_GT(ks.p_value, 0.001);
+}
+
+// The central validation: jump and tick must sample the same spread-time law.
+class EngineEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineEquivalence, JumpMatchesTickDistribution) {
+  Graph g;
+  NodeId source = 0;
+  switch (GetParam()) {
+    case 0: g = make_clique(24); break;
+    case 1: g = make_star(25); source = 1; break;
+    case 2: g = make_cycle(16); break;
+    case 3: g = make_path(12); break;
+    case 4: {
+      Rng rng(5);
+      g = random_connected_regular(rng, 30, 4);
+      break;
+    }
+    case 5: g = make_two_cliques_bridge(8, 8, 0, 8); break;
+    default: g = make_clique(8);
+  }
+  const int trials = 120;
+  std::vector<double> jump_times, tick_times;
+  for (int i = 0; i < trials; ++i) {
+    jump_times.push_back(jump_once(g, source, 3000 + static_cast<std::uint64_t>(i)).spread_time);
+    tick_times.push_back(tick_once(g, source, 9000 + static_cast<std::uint64_t>(i)).spread_time);
+  }
+  const auto ks = ks_two_sample(jump_times, tick_times);
+  EXPECT_GT(ks.p_value, 0.001) << "KS statistic " << ks.statistic;
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, EngineEquivalence, ::testing::Range(0, 6));
+
+TEST(EngineEquivalence, DynamicStarJumpMatchesTick) {
+  // Equivalence must also hold across graph switches (adaptive network).
+  const int trials = 100;
+  std::vector<double> jump_times, tick_times;
+  for (int i = 0; i < trials; ++i) {
+    {
+      DynamicStarNetwork net(24, 50 + static_cast<std::uint64_t>(i));
+      Rng rng(5000 + static_cast<std::uint64_t>(i));
+      jump_times.push_back(run_async_jump(net, 1, rng).spread_time);
+    }
+    {
+      DynamicStarNetwork net(24, 50 + static_cast<std::uint64_t>(i));
+      Rng rng(6000 + static_cast<std::uint64_t>(i));
+      tick_times.push_back(run_async_tick(net, 1, rng).spread_time);
+    }
+  }
+  const auto ks = ks_two_sample(jump_times, tick_times);
+  EXPECT_GT(ks.p_value, 0.001) << "KS statistic " << ks.statistic;
+}
+
+TEST(JumpEngine, GraphChangeCountsReported) {
+  DynamicStarNetwork net(16, 3);
+  Rng rng(11);
+  const auto r = run_async_jump(net, 1, rng);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.graph_changes, 0);
+}
+
+TEST(JumpEngine, TimeLimitRespected) {
+  AsyncOptions opt;
+  opt.time_limit = 0.25;
+  const auto r = jump_once(make_path(4096), 0, 1, opt);
+  EXPECT_FALSE(r.completed);
+  EXPECT_LE(r.spread_time, 0.25 + 1e-9);
+}
+
+TEST(JumpEngine, IsolatedSourceStallsUntilReconnection) {
+  // Node 3 is isolated at t = 0; the trace reconnects it at t = 1.
+  std::vector<Graph> seq;
+  seq.push_back(Graph(4, {{0, 1}, {1, 2}}));
+  seq.push_back(make_clique(4));
+  TraceNetwork net(std::move(seq));
+  Rng rng(2);
+  const auto r = run_async_jump(net, 3, rng);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GE(r.spread_time, 1.0);  // nothing can happen before the switch
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,121 @@
+// Tests for randomized gossip averaging (Boyd et al. [5]) on static and
+// dynamic networks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/averaging.h"
+#include "dynamic/dynamic_star.h"
+#include "dynamic/simple_networks.h"
+#include "graph/builders.h"
+#include "graph/random_graphs.h"
+
+namespace rumor {
+namespace {
+
+std::vector<double> ramp(NodeId n) {
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) x[static_cast<std::size_t>(u)] = static_cast<double>(u);
+  return x;
+}
+
+TEST(Averaging, ConvergesOnClique) {
+  StaticNetwork net(make_clique(64));
+  Rng rng(1);
+  const auto r = run_async_averaging(net, ramp(64), rng);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.final_rms, 1e-3);
+  EXPECT_GT(r.convergence_time, 0.0);
+}
+
+TEST(Averaging, MeanIsInvariant) {
+  StaticNetwork net(make_clique(32));
+  Rng rng(2);
+  const auto r = run_async_averaging(net, ramp(32), rng);
+  const double expected_mean = 31.0 / 2.0;
+  EXPECT_NEAR(r.mean, expected_mean, 1e-9);
+  double actual = 0.0;
+  for (double v : r.values) actual += v;
+  EXPECT_NEAR(actual / 32.0, expected_mean, 1e-6);
+}
+
+TEST(Averaging, AllValuesNearMeanAtConvergence) {
+  StaticNetwork net(make_cycle(24));
+  Rng rng(3);
+  AveragingOptions opt;
+  opt.epsilon = 1e-4;
+  const auto r = run_async_averaging(net, ramp(24), rng, opt);
+  ASSERT_TRUE(r.converged);
+  for (double v : r.values) EXPECT_NEAR(v, r.mean, 1e-2);
+}
+
+TEST(Averaging, AlreadyConvergedIsInstant) {
+  StaticNetwork net(make_clique(16));
+  Rng rng(4);
+  const auto r = run_async_averaging(net, std::vector<double>(16, 5.0), rng);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.convergence_time, 0.0);
+  EXPECT_EQ(r.total_contacts, 0);
+}
+
+TEST(Averaging, TraceIsMonotoneNonIncreasing) {
+  StaticNetwork net(make_clique(32));
+  Rng rng(5);
+  AveragingOptions opt;
+  opt.record_trace = true;
+  const auto r = run_async_averaging(net, ramp(32), rng, opt);
+  ASSERT_GE(r.trace.size(), 2u);
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_LE(r.trace[i].second, r.trace[i - 1].second + 1e-9);
+  }
+}
+
+TEST(Averaging, ExpanderFasterThanCycle) {
+  // Mixing dominates: expanders average exponentially faster than cycles.
+  const NodeId n = 128;
+  Rng build(6);
+  StaticNetwork expander(random_connected_regular(build, n, 4));
+  StaticNetwork cycle(make_cycle(n));
+  AveragingOptions opt;
+  opt.epsilon = 1e-2;
+  opt.time_limit = 1e6;
+  Rng r1(7), r2(8);
+  const auto fast = run_async_averaging(expander, ramp(n), r1, opt);
+  const auto slow = run_async_averaging(cycle, ramp(n), r2, opt);
+  ASSERT_TRUE(fast.converged);
+  ASSERT_TRUE(slow.converged);
+  EXPECT_LT(fast.convergence_time * 3.0, slow.convergence_time);
+}
+
+TEST(Averaging, WorksOnDynamicNetworks) {
+  DynamicStarNetwork net(32, 9);
+  Rng rng(10);
+  const auto r = run_async_averaging(net, ramp(33), rng);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Averaging, TimeLimitRespected) {
+  StaticNetwork net(make_cycle(256));
+  Rng rng(11);
+  AveragingOptions opt;
+  opt.epsilon = 1e-9;
+  opt.time_limit = 1.0;
+  const auto r = run_async_averaging(net, ramp(256), rng, opt);
+  EXPECT_FALSE(r.converged);
+  EXPECT_DOUBLE_EQ(r.convergence_time, 1.0);
+  EXPECT_GT(r.final_rms, 1e-9);
+}
+
+TEST(Averaging, ValidatesArguments) {
+  StaticNetwork net(make_clique(4));
+  Rng rng(1);
+  EXPECT_THROW(run_async_averaging(net, std::vector<double>(3, 0.0), rng),
+               std::invalid_argument);
+  AveragingOptions opt;
+  opt.epsilon = 0.0;
+  EXPECT_THROW(run_async_averaging(net, std::vector<double>(4, 0.0), rng, opt),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rumor

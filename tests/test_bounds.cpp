@@ -1,0 +1,178 @@
+// Tests for the bounds module: the paper's constants, the Theorem 1.1/1.3
+// evaluators, Corollary 1.6, the Lemma 2.2 Poisson tail, and the BoundTracker.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bounds/constants.h"
+#include "bounds/poisson_tail.h"
+#include "bounds/theorem_bounds.h"
+
+namespace rumor {
+namespace {
+
+GraphProfile profile(double phi, double rho, double abs_rho, bool connected = true) {
+  GraphProfile p;
+  p.conductance = phi;
+  p.diligence = rho;
+  p.abs_diligence = abs_rho;
+  p.connected = connected;
+  return p;
+}
+
+TEST(Constants, MatchPaperValues) {
+  EXPECT_NEAR(theorem_c0(), 0.5 - 1.0 / std::exp(1.0), 1e-15);
+  EXPECT_NEAR(theorem_c0(), 0.1321205588, 1e-9);
+  EXPECT_NEAR(theorem_C(1.0), 30.0 / theorem_c0(), 1e-12);
+  EXPECT_NEAR(theorem_C(2.0), 40.0 / theorem_c0(), 1e-12);
+  EXPECT_NEAR(lemma22_exponent(), 1.0 / std::exp(1.0) - 0.5, 1e-15);
+  EXPECT_LT(lemma22_exponent(), 0.0);  // the bound decays in r
+}
+
+TEST(Thresholds, Formulas) {
+  EXPECT_NEAR(theorem11_threshold(100, 1.0), theorem_C(1.0) * std::log(100.0), 1e-12);
+  EXPECT_DOUBLE_EQ(theorem13_threshold(100), 200.0);
+}
+
+TEST(Theorem11Time, CrossesAtExpectedStep) {
+  // Constant summand 1.0 per step: crossing at ceil(threshold) - 1.
+  const NodeId n = 20;
+  const auto threshold = theorem11_threshold(n, 1.0);
+  std::vector<GraphProfile> seq(2000, profile(1.0, 1.0, 1.0));
+  const auto t = theorem11_time(seq, n, 1.0);
+  EXPECT_EQ(t, static_cast<std::int64_t>(std::ceil(threshold)) - 1);
+}
+
+TEST(Theorem11Time, NotReachedReturnsMinusOne) {
+  std::vector<GraphProfile> seq(10, profile(0.01, 0.01, 0.01));
+  EXPECT_EQ(theorem11_time(seq, 100, 1.0), kBoundNotReached);
+}
+
+TEST(Theorem11Time, DisconnectedStepsContributeNothing) {
+  // ρ = 0 when disconnected (the paper's convention), so only connected steps
+  // advance the sum.
+  std::vector<GraphProfile> seq;
+  for (int i = 0; i < 100; ++i) seq.push_back(profile(0.0, 0.0, 0.5, false));
+  seq.push_back(profile(1e9, 1.0, 1.0));  // one huge step crosses alone
+  EXPECT_EQ(theorem11_time(seq, 50, 1.0), 100);
+}
+
+TEST(Theorem13Time, CountsOnlyConnectedSteps) {
+  const NodeId n = 10;  // threshold 2n = 20
+  std::vector<GraphProfile> seq;
+  for (int i = 0; i < 100; ++i) {
+    seq.push_back(profile(0.5, 0.5, 1.0, /*connected=*/i % 2 == 0));
+  }
+  // Summand is 1.0 on even steps only: the 20th contribution lands at t = 38.
+  EXPECT_EQ(theorem13_time(seq, n), 38);
+}
+
+TEST(GeneratorVariants, MatchSpanVariants) {
+  const NodeId n = 16;
+  std::vector<GraphProfile> seq(500, profile(0.25, 0.5, 0.125));
+  const auto span_t11 = theorem11_time(seq, n, 1.0);
+  const auto gen_t11 = theorem11_time(
+      [&](std::int64_t t) { return seq[static_cast<std::size_t>(t)]; }, n, 1.0, 499);
+  EXPECT_EQ(span_t11, gen_t11);
+
+  const auto span_t13 = theorem13_time(seq, n);
+  const auto gen_t13 = theorem13_time(
+      [&](std::int64_t t) { return seq[static_cast<std::size_t>(t)]; }, n, 499);
+  EXPECT_EQ(span_t13, gen_t13);
+}
+
+TEST(WithTailVariants, ClosedFormMatchesIteration) {
+  const NodeId n = 32;
+  std::vector<GraphProfile> prefix(3, profile(0.9, 0.9, 0.9));
+  const GraphProfile tail = profile(0.37, 0.5, 0.21);
+
+  std::vector<GraphProfile> expanded = prefix;
+  for (int i = 0; i < 100000; ++i) expanded.push_back(tail);
+  EXPECT_EQ(theorem11_time_with_tail(prefix, tail, n, 1.0), theorem11_time(expanded, n, 1.0));
+  EXPECT_EQ(theorem13_time_with_tail(prefix, tail, n), theorem13_time(expanded, n));
+}
+
+TEST(WithTailVariants, ZeroTailNeverCrosses) {
+  std::vector<GraphProfile> prefix(3, profile(0.1, 0.1, 0.1));
+  const GraphProfile dead = profile(0.0, 0.0, 0.0, false);
+  EXPECT_EQ(theorem11_time_with_tail(prefix, dead, 100, 1.0), kBoundNotReached);
+  EXPECT_EQ(theorem13_time_with_tail(prefix, dead, 100), kBoundNotReached);
+}
+
+TEST(WithTailVariants, CrossingInsidePrefix) {
+  const NodeId n = 4;
+  std::vector<GraphProfile> prefix(2000, profile(1.0, 1.0, 1.0));
+  const GraphProfile tail = profile(0.0, 0.0, 0.0, false);
+  const auto direct = theorem11_time(prefix, n, 1.0);
+  EXPECT_EQ(theorem11_time_with_tail(prefix, tail, n, 1.0), direct);
+}
+
+TEST(Corollary16, TakesTheMinimum) {
+  const NodeId n = 8;
+  // Φ·ρ large => T11 crosses fast; ρ̄ tiny => T13 slow.
+  std::vector<GraphProfile> seq(5000, profile(1.0, 1.0, 1e-3));
+  const auto t11 = theorem11_time(seq, n, 1.0);
+  const auto t13 = theorem13_time(seq, n);
+  const auto c16 = corollary16_time(seq, n, 1.0);
+  EXPECT_EQ(c16, std::min(t11 == -1 ? INT64_MAX : t11, t13 == -1 ? INT64_MAX : t13));
+  EXPECT_EQ(c16, t11);
+}
+
+TEST(BoundTracker, StreamingMatchesOffline) {
+  const NodeId n = 24;
+  std::vector<GraphProfile> seq;
+  for (int i = 0; i < 4000; ++i)
+    seq.push_back(profile(0.3 + 0.001 * (i % 7), 0.5, 0.01 * ((i % 3) + 1)));
+
+  BoundTracker tracker(n, 1.0);
+  for (const auto& p : seq) tracker.on_step(p);
+
+  EXPECT_EQ(tracker.theorem11_crossing(), theorem11_time(seq, n, 1.0));
+  EXPECT_EQ(tracker.theorem13_crossing(), theorem13_time(seq, n));
+  EXPECT_EQ(tracker.steps(), 4000);
+}
+
+TEST(BoundTracker, SumsAccumulate) {
+  BoundTracker tracker(16, 1.0);
+  tracker.on_step(profile(0.5, 0.5, 0.25));
+  tracker.on_step(profile(0.5, 0.5, 0.25, false));  // disconnected: ρ̄ ignored
+  EXPECT_NEAR(tracker.phi_rho_sum(), 0.5, 1e-12);
+  EXPECT_NEAR(tracker.abs_sum(), 0.25, 1e-12);
+}
+
+TEST(BoundTracker, RejectsBadParameters) {
+  EXPECT_THROW(BoundTracker(1, 1.0), std::invalid_argument);
+  EXPECT_THROW(BoundTracker(10, 0.5), std::invalid_argument);
+}
+
+class Lemma22 : public ::testing::TestWithParam<double> {};
+
+TEST_P(Lemma22, BoundDominatesExactTail) {
+  // Pr[Poisson(r) <= r/2] <= e^{r(1/e + 1/2 - 1)} for every r.
+  const double r = GetParam();
+  EXPECT_LE(poisson_lower_half_tail(r), lemma22_tail_bound(r) + 1e-12) << "r=" << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, Lemma22,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 60.0, 150.0, 400.0));
+
+TEST(Lemma22, BoundIsAsymptoticallyTightInExponent) {
+  // The exact tail's log decays linearly in r with a slope at least as steep
+  // as the bound's exponent.
+  const double r1 = 100.0, r2 = 200.0;
+  const double slope = (std::log(poisson_lower_half_tail(r2)) -
+                        std::log(poisson_lower_half_tail(r1))) /
+                       (r2 - r1);
+  EXPECT_LT(slope, lemma22_exponent());
+}
+
+TEST(Chernoff, BasicShape) {
+  EXPECT_NEAR(chernoff_upper(10.0, 0.5), std::exp(-0.5 * 0.5 * 10.0 / 2.0), 1e-12);
+  EXPECT_NEAR(chernoff_lower(10.0, 0.5), std::exp(-0.5 * 0.5 * 10.0 / 3.0), 1e-12);
+  EXPECT_THROW(chernoff_upper(-1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(chernoff_lower(1.0, 2.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rumor

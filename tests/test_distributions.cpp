@@ -1,0 +1,110 @@
+// Unit tests for the distribution samplers and exact CDF helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.h"
+#include "stats/summary.h"
+
+namespace rumor {
+namespace {
+
+TEST(Exponential, MeanAndVarianceMatch) {
+  Rng rng(1);
+  for (double rate : {0.5, 1.0, 4.0}) {
+    OnlineStats s;
+    for (int i = 0; i < 40000; ++i) s.add(sample_exponential(rng, rate));
+    EXPECT_NEAR(s.mean(), 1.0 / rate, 3.0 / rate / std::sqrt(40000.0) * 3.0);
+    EXPECT_NEAR(s.variance(), 1.0 / (rate * rate), 0.15 / (rate * rate));
+  }
+}
+
+TEST(Exponential, RejectsNonPositiveRate) {
+  Rng rng(2);
+  EXPECT_THROW(sample_exponential(rng, 0.0), std::invalid_argument);
+  EXPECT_THROW(sample_exponential(rng, -1.0), std::invalid_argument);
+}
+
+TEST(Exponential, MemorylessTail) {
+  // Pr[X > 2] should be e^{-2} for rate 1.
+  Rng rng(3);
+  int over = 0;
+  const int samples = 50000;
+  for (int i = 0; i < samples; ++i)
+    if (sample_exponential(rng, 1.0) > 2.0) ++over;
+  EXPECT_NEAR(static_cast<double>(over) / samples, std::exp(-2.0), 0.006);
+}
+
+class PoissonMoments : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMoments, MeanAndVarianceEqualRate) {
+  const double mean = GetParam();
+  Rng rng(static_cast<std::uint64_t>(mean * 1000) + 5);
+  OnlineStats s;
+  for (int i = 0; i < 30000; ++i) s.add(static_cast<double>(sample_poisson(rng, mean)));
+  const double tolerance = 4.0 * std::sqrt(mean / 30000.0) + 0.01;
+  EXPECT_NEAR(s.mean(), mean, tolerance);
+  EXPECT_NEAR(s.variance(), mean, mean * 0.1 + 0.05);
+}
+
+// Covers both the Knuth (< 10) and the PTRS (>= 10) branches.
+INSTANTIATE_TEST_SUITE_P(SmallAndLarge, PoissonMoments,
+                         ::testing::Values(0.1, 1.0, 5.0, 9.9, 10.0, 35.0, 200.0, 1500.0));
+
+TEST(Poisson, ZeroMeanGivesZero) {
+  Rng rng(6);
+  EXPECT_EQ(sample_poisson(rng, 0.0), 0);
+  EXPECT_THROW(sample_poisson(rng, -1.0), std::invalid_argument);
+}
+
+TEST(PoissonCdf, MatchesClosedFormsSmall) {
+  // Pr[Poisson(2) <= 0] = e^{-2}; <=1 adds 2e^{-2}.
+  EXPECT_NEAR(poisson_cdf(2.0, 0), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(poisson_cdf(2.0, 1), 3.0 * std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(poisson_cdf(2.0, 100), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(poisson_cdf(5.0, -1), 0.0);
+}
+
+TEST(PoissonCdf, AgreesWithEmpirical) {
+  const double mean = 12.0;
+  Rng rng(8);
+  const int samples = 60000;
+  int le = 0;
+  for (int i = 0; i < samples; ++i)
+    if (sample_poisson(rng, mean) <= 9) ++le;
+  EXPECT_NEAR(static_cast<double>(le) / samples, poisson_cdf(mean, 9), 0.01);
+}
+
+TEST(Geometric, MeanMatches) {
+  Rng rng(9);
+  for (double p : {0.1, 0.5, 0.9}) {
+    OnlineStats s;
+    for (int i = 0; i < 30000; ++i) s.add(static_cast<double>(sample_geometric(rng, p)));
+    EXPECT_NEAR(s.mean(), (1.0 - p) / p, 0.08 / p);
+  }
+  EXPECT_EQ(sample_geometric(rng, 1.0), 0);
+  EXPECT_THROW(sample_geometric(rng, 0.0), std::invalid_argument);
+}
+
+TEST(Binomial, MomentsAndEdges) {
+  Rng rng(10);
+  EXPECT_EQ(sample_binomial(rng, 0, 0.5), 0);
+  EXPECT_EQ(sample_binomial(rng, 10, 0.0), 0);
+  EXPECT_EQ(sample_binomial(rng, 10, 1.0), 10);
+  for (auto [n, p] : std::vector<std::pair<std::int64_t, double>>{{20, 0.3}, {1000, 0.01},
+                                                                  {100, 0.7}, {50, 0.5}}) {
+    OnlineStats s;
+    for (int i = 0; i < 20000; ++i) s.add(static_cast<double>(sample_binomial(rng, n, p)));
+    const double mean = static_cast<double>(n) * p;
+    EXPECT_NEAR(s.mean(), mean, 4.0 * std::sqrt(mean) / std::sqrt(20000.0) + 0.02);
+    EXPECT_NEAR(s.variance(), mean * (1 - p), mean * (1 - p) * 0.12 + 0.05);
+  }
+}
+
+TEST(LogGamma, MatchesFactorials) {
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-10);  // Γ(5) = 4!
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rumor

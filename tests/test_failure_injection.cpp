@@ -1,0 +1,177 @@
+// Tests for lossy-link failure injection (the robustness setting of [14]):
+// with per-contact failure probability p, the asynchronous process is the
+// exact Poisson thinning of the lossless one, so spread times scale like
+// 1/(1-p) in distribution.
+#include <gtest/gtest.h>
+
+#include "core/async_engine.h"
+#include "core/sync_engine.h"
+#include "dynamic/simple_networks.h"
+#include "graph/builders.h"
+#include "stats/ks.h"
+#include "stats/summary.h"
+
+namespace rumor {
+namespace {
+
+TEST(FailureInjection, StillCompletesUnderLoss) {
+  for (double p : {0.1, 0.5, 0.9}) {
+    StaticNetwork net(make_clique(32));
+    Rng rng(static_cast<std::uint64_t>(p * 100));
+    AsyncOptions opt;
+    opt.transmission_failure_prob = p;
+    const auto r = run_async_jump(net, 0, rng, opt);
+    EXPECT_TRUE(r.completed) << "p=" << p;
+  }
+}
+
+TEST(FailureInjection, JumpScalesAsThinning) {
+  // Spread time at loss p equals (in distribution) the lossless spread time
+  // divided by (1-p): verified with a KS test after rescaling.
+  const double p = 0.6;
+  std::vector<double> lossless_scaled, lossy;
+  for (std::uint64_t seed = 0; seed < 150; ++seed) {
+    {
+      StaticNetwork net(make_clique(24));
+      Rng rng(100 + seed);
+      const auto r = run_async_jump(net, 0, rng);
+      lossless_scaled.push_back(r.spread_time / (1.0 - p));
+    }
+    {
+      StaticNetwork net(make_clique(24));
+      Rng rng(9000 + seed);
+      AsyncOptions opt;
+      opt.transmission_failure_prob = p;
+      lossy.push_back(run_async_jump(net, 0, rng, opt).spread_time);
+    }
+  }
+  const auto ks = ks_two_sample(lossless_scaled, lossy);
+  EXPECT_GT(ks.p_value, 0.001);
+}
+
+TEST(FailureInjection, TickMatchesJumpUnderLoss) {
+  const double p = 0.4;
+  std::vector<double> jump_times, tick_times;
+  for (std::uint64_t seed = 0; seed < 120; ++seed) {
+    AsyncOptions opt;
+    opt.transmission_failure_prob = p;
+    {
+      StaticNetwork net(make_star(25));
+      Rng rng(300 + seed);
+      jump_times.push_back(run_async_jump(net, 1, rng, opt).spread_time);
+    }
+    {
+      StaticNetwork net(make_star(25));
+      Rng rng(7000 + seed);
+      tick_times.push_back(run_async_tick(net, 1, rng, opt).spread_time);
+    }
+  }
+  const auto ks = ks_two_sample(jump_times, tick_times);
+  EXPECT_GT(ks.p_value, 0.001) << "KS stat " << ks.statistic;
+}
+
+TEST(FailureInjection, MeanGrowsWithLossRate) {
+  auto mean_at = [](double p) {
+    OnlineStats s;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+      StaticNetwork net(make_clique(32));
+      Rng rng(500 + seed);
+      AsyncOptions opt;
+      opt.transmission_failure_prob = p;
+      s.add(run_async_jump(net, 0, rng, opt).spread_time);
+    }
+    return s.mean();
+  };
+  const double none = mean_at(0.0);
+  const double half = mean_at(0.5);
+  EXPECT_NEAR(half / none, 2.0, 0.6);
+}
+
+TEST(FailureInjection, SyncLossSlowsRounds) {
+  auto mean_rounds = [](double p) {
+    OnlineStats s;
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+      StaticNetwork net(make_clique(64));
+      Rng rng(800 + seed);
+      SyncOptions opt;
+      opt.transmission_failure_prob = p;
+      s.add(run_sync(net, 0, rng, opt).spread_time);
+    }
+    return s.mean();
+  };
+  EXPECT_GT(mean_rounds(0.7), mean_rounds(0.0));
+}
+
+TEST(FailureInjection, TickCountsLostContacts) {
+  StaticNetwork net(make_clique(16));
+  Rng rng(3);
+  AsyncOptions opt;
+  opt.transmission_failure_prob = 0.5;
+  const auto r = run_async_tick(net, 0, rng, opt);
+  EXPECT_TRUE(r.completed);
+  // Contacts are counted even when the exchange is lost.
+  EXPECT_GT(r.total_contacts, r.informative_contacts);
+}
+
+TEST(FailureInjection, ValidatesProbability) {
+  StaticNetwork net(make_clique(4));
+  Rng rng(1);
+  AsyncOptions opt;
+  opt.transmission_failure_prob = 1.0;
+  EXPECT_THROW(run_async_jump(net, 0, rng, opt), std::invalid_argument);
+  opt.transmission_failure_prob = -0.1;
+  EXPECT_THROW(run_async_tick(net, 0, rng, opt), std::invalid_argument);
+  SyncOptions sopt;
+  sopt.transmission_failure_prob = 1.0;
+  EXPECT_THROW(run_sync(net, 0, rng, sopt), std::invalid_argument);
+}
+
+TEST(MultiSource, ExtraSourcesSeedTheProcess) {
+  StaticNetwork net(make_path(64));
+  Rng rng(5);
+  AsyncOptions opt;
+  opt.extra_sources = {32, 63};
+  opt.record_trace = true;
+  const auto r = run_async_jump(net, 0, rng, opt);
+  EXPECT_TRUE(r.completed);
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_EQ(r.trace.front().second, 3);  // three seeds at time zero
+  EXPECT_EQ(r.informative_contacts, 61);
+}
+
+TEST(MultiSource, DuplicatesAreIdempotent) {
+  StaticNetwork net(make_clique(8));
+  Rng rng(6);
+  AsyncOptions opt;
+  opt.extra_sources = {0, 1, 1, 2};
+  opt.record_trace = true;
+  const auto r = run_async_jump(net, 0, rng, opt);
+  EXPECT_EQ(r.trace.front().second, 3);  // {0, 1, 2}
+}
+
+TEST(MultiSource, SpeedsUpSpread) {
+  auto mean_with_seeds = [](int extra) {
+    OnlineStats s;
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+      StaticNetwork net(make_cycle(128));
+      Rng rng(900 + seed);
+      AsyncOptions opt;
+      for (int i = 1; i <= extra; ++i)
+        opt.extra_sources.push_back(static_cast<NodeId>(i * 128 / (extra + 1)));
+      s.add(run_async_jump(net, 0, rng, opt).spread_time);
+    }
+    return s.mean();
+  };
+  EXPECT_LT(mean_with_seeds(3), 0.6 * mean_with_seeds(0));
+}
+
+TEST(MultiSource, OutOfRangeRejected) {
+  StaticNetwork net(make_clique(4));
+  Rng rng(1);
+  AsyncOptions opt;
+  opt.extra_sources = {7};
+  EXPECT_THROW(run_async_jump(net, 0, rng, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,113 @@
+// Unit tests for the Graph core: CSR layout, invariants, versioning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/connectivity.h"
+#include "graph/graph.h"
+
+namespace rumor {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0);
+  EXPECT_EQ(g.edge_count(), 0);
+  EXPECT_EQ(g.volume(), 0);
+}
+
+TEST(Graph, TriangleBasics) {
+  Graph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.node_count(), 3);
+  EXPECT_EQ(g.edge_count(), 3);
+  EXPECT_EQ(g.volume(), 6);
+  for (NodeId u = 0; u < 3; ++u) EXPECT_EQ(g.degree(u), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.min_degree(), 2);
+  EXPECT_EQ(g.max_degree(), 2);
+}
+
+TEST(Graph, EdgesAreNormalizedAndSorted) {
+  Graph g(4, {{3, 1}, {2, 0}});
+  const auto& edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].u, 0);
+  EXPECT_EQ(edges[0].v, 2);
+  EXPECT_EQ(edges[1].u, 1);
+  EXPECT_EQ(edges[1].v, 3);
+}
+
+TEST(Graph, NeighborsSortedAscending) {
+  Graph g(5, {{0, 4}, {0, 2}, {0, 1}, {2, 3}});
+  const auto nb = g.neighbors(0);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb[0], 1);
+  EXPECT_EQ(nb[2], 4);
+}
+
+TEST(Graph, RejectsSelfLoopsAndDuplicates) {
+  EXPECT_THROW(Graph(3, {{1, 1}}), std::invalid_argument);
+  EXPECT_THROW(Graph(3, {{0, 1}, {1, 0}}), std::invalid_argument);
+  EXPECT_THROW(Graph(3, {{0, 3}}), std::invalid_argument);
+  EXPECT_THROW(Graph(3, {{-1, 0}}), std::invalid_argument);
+}
+
+TEST(Graph, DegreeQueriesValidateRange) {
+  Graph g(2, {{0, 1}});
+  EXPECT_THROW(g.degree(2), std::invalid_argument);
+  EXPECT_THROW(g.neighbors(-1), std::invalid_argument);
+  EXPECT_THROW(g.has_edge(0, 5), std::invalid_argument);
+}
+
+TEST(Graph, IsolatedNodesHaveDegreeZero) {
+  Graph g(4, {{0, 1}});
+  EXPECT_EQ(g.degree(2), 0);
+  EXPECT_EQ(g.degree(3), 0);
+  EXPECT_TRUE(g.neighbors(2).empty());
+  EXPECT_EQ(g.min_degree(), 0);
+}
+
+TEST(Graph, VersionsAreUnique) {
+  Graph a(2, {{0, 1}});
+  Graph b(2, {{0, 1}});
+  EXPECT_NE(a.version(), b.version());
+}
+
+TEST(Connectivity, PathIsConnected) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(component_count(g), 1);
+}
+
+TEST(Connectivity, TwoComponents) {
+  Graph g(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_EQ(component_count(g), 2);
+  const auto labels = component_labels(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+TEST(Connectivity, SingleNodeAndEmptyAreConnected) {
+  EXPECT_TRUE(is_connected(Graph(1, {})));
+  EXPECT_TRUE(is_connected(Graph(0, {})));
+}
+
+TEST(Connectivity, BfsDistancesOnPath) {
+  Graph g(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const auto d = bfs_distances(g, 0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(d[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Connectivity, BfsUnreachableIsMinusOne) {
+  Graph g(3, {{0, 1}});
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], -1);
+  EXPECT_THROW(bfs_distances(g, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,118 @@
+// Unit tests for the Section-4 construction H_{k,Δ}(A, B) and Observation 4.1.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/conductance.h"
+#include "graph/connectivity.h"
+#include "graph/diligence.h"
+#include "graph/hk_graph.h"
+
+namespace rumor {
+namespace {
+
+std::vector<NodeId> iota_range(NodeId from, NodeId to) {
+  std::vector<NodeId> v(static_cast<std::size_t>(to - from));
+  std::iota(v.begin(), v.end(), from);
+  return v;
+}
+
+HkGraph build(NodeId n, NodeId a_count, int k, NodeId delta, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  return build_hk_graph(rng, n, iota_range(0, a_count), iota_range(a_count, n), k, delta);
+}
+
+TEST(HkGraph, ClusterStructure) {
+  const NodeId n = 120, a_count = 30;
+  const int k = 3;
+  const NodeId delta = 6;
+  const HkGraph h = build(n, a_count, k, delta);
+
+  ASSERT_EQ(h.clusters.size(), static_cast<std::size_t>(k) + 1);
+  for (const auto& cluster : h.clusters) EXPECT_EQ(cluster.size(), static_cast<std::size_t>(delta));
+
+  // S_0 ⊂ A, the rest ⊂ B.
+  for (NodeId u : h.clusters[0]) EXPECT_LT(u, a_count);
+  for (int i = 1; i <= k; ++i)
+    for (NodeId u : h.clusters[static_cast<std::size_t>(i)]) EXPECT_GE(u, a_count);
+
+  EXPECT_EQ(h.expander_a.size(), static_cast<std::size_t>(a_count - delta));
+  EXPECT_EQ(h.expander_b.size(),
+            static_cast<std::size_t>(n - a_count - k * delta));
+}
+
+TEST(HkGraph, ConsecutiveClustersFullyConnected) {
+  const HkGraph h = build(120, 30, 3, 6);
+  for (std::size_t i = 0; i + 1 < h.clusters.size(); ++i) {
+    for (NodeId u : h.clusters[i])
+      for (NodeId v : h.clusters[i + 1]) EXPECT_TRUE(h.graph.has_edge(u, v));
+  }
+  // Non-consecutive clusters are not directly connected.
+  for (NodeId u : h.clusters[0])
+    for (NodeId v : h.clusters[2]) EXPECT_FALSE(h.graph.has_edge(u, v));
+}
+
+TEST(HkGraph, ClusterNodesHaveDegreeTwoDelta) {
+  const NodeId delta = 8;
+  const HkGraph h = build(160, 40, 4, delta);
+  for (const auto& cluster : h.clusters)
+    for (NodeId u : cluster) EXPECT_EQ(h.graph.degree(u), 2 * delta);
+}
+
+TEST(HkGraph, ExpanderDegreesGrowByAdditiveConstant) {
+  const NodeId delta = 8;
+  const HkGraph h = build(160, 40, 2, delta);
+  // Expander nodes have base degree 4 plus at most ceil(Δ²/|expander|) + 1.
+  const auto cap_a = 4 + (delta * delta + static_cast<NodeId>(h.expander_a.size()) - 1) /
+                             static_cast<NodeId>(h.expander_a.size()) + 1;
+  for (NodeId u : h.expander_a) EXPECT_LE(h.graph.degree(u), cap_a);
+  const auto cap_b = 4 + (delta * delta + static_cast<NodeId>(h.expander_b.size()) - 1) /
+                             static_cast<NodeId>(h.expander_b.size()) + 1;
+  for (NodeId u : h.expander_b) EXPECT_LE(h.graph.degree(u), cap_b);
+}
+
+TEST(HkGraph, IsConnected) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const HkGraph h = build(120, 30, 3, 5, seed);
+    EXPECT_TRUE(is_connected(h.graph));
+  }
+}
+
+TEST(HkGraph, RejectsInfeasibleSides) {
+  Rng rng(1);
+  // |A| < delta + 5
+  EXPECT_THROW(
+      build_hk_graph(rng, 40, iota_range(0, 8), iota_range(8, 40), 2, 4),
+      std::invalid_argument);
+  // |B| < k*delta + 5
+  EXPECT_THROW(
+      build_hk_graph(rng, 40, iota_range(0, 20), iota_range(20, 40), 4, 4),
+      std::invalid_argument);
+}
+
+TEST(HkGraph, AbsoluteDiligenceIsHalfOverDelta) {
+  // Bipartite string edges join two degree-2Δ nodes: ρ̄ = 1/(2Δ).
+  const NodeId delta = 6;
+  const HkGraph h = build(120, 30, 3, delta);
+  EXPECT_NEAR(absolute_diligence(h.graph), 1.0 / (2.0 * delta), 1e-12);
+}
+
+TEST(HkGraph, Observation41ConductanceScale) {
+  // Φ(H) = Θ(Δ²/(kΔ² + n)): check the spectral sandwich brackets the
+  // analytic expression within generous constants at a testable size.
+  const NodeId n = 160, a_count = 40;
+  const int k = 3;
+  const NodeId delta = 6;
+  const HkGraph h = build(n, a_count, k, delta);
+  const double analytic =
+      static_cast<double>(delta) * delta /
+      (static_cast<double>(k) * delta * delta + static_cast<double>(n));
+  const auto bounds = spectral_conductance_bounds(h.graph);
+  // Conductance lies in [lower, upper]; the analytic Θ-value must be within
+  // a constant factor of that window.
+  EXPECT_GT(bounds.upper, analytic / 8.0);
+  EXPECT_LT(bounds.lower, analytic * 8.0);
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,111 @@
+// Tests for graph/trace serialization and DOT export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/builders.h"
+#include "graph/io.h"
+
+namespace rumor {
+namespace {
+
+TEST(EdgeList, RoundTrips) {
+  const Graph g = make_pendant_clique(5);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph back = read_edge_list(ss);
+  EXPECT_EQ(back.node_count(), g.node_count());
+  EXPECT_EQ(back.edge_count(), g.edge_count());
+  for (std::size_t i = 0; i < g.edges().size(); ++i)
+    EXPECT_TRUE(g.edges()[i] == back.edges()[i]);
+}
+
+TEST(EdgeList, CommentsAndHeaderParsed) {
+  std::stringstream ss("# a comment\nn 4\n0 1\n2 3\n");
+  const Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.node_count(), 4);
+  EXPECT_EQ(g.edge_count(), 2);
+}
+
+TEST(EdgeList, MissingHeaderRejected) {
+  std::stringstream ss("0 1\n");
+  EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+}
+
+TEST(EdgeList, MalformedLineRejected) {
+  std::stringstream ss("n 4\n0 x\n");
+  EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+}
+
+TEST(EdgeList, EmptyStreamRejected) {
+  std::stringstream ss("");
+  EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+}
+
+TEST(Trace, RoundTrips) {
+  std::vector<Graph> graphs;
+  graphs.push_back(make_star(6));
+  graphs.push_back(make_cycle(6));
+  graphs.push_back(Graph(6, {}));  // empty step allowed
+  std::stringstream ss;
+  write_trace(ss, graphs);
+  const auto back = read_trace(ss);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0].edge_count(), 5);
+  EXPECT_EQ(back[1].edge_count(), 6);
+  EXPECT_EQ(back[2].edge_count(), 0);
+  for (const auto& g : back) EXPECT_EQ(g.node_count(), 6);
+}
+
+TEST(Trace, MismatchedNodeCountsRejected) {
+  std::stringstream ss("n 4\n0 1\n--\nn 5\n0 1\n");
+  EXPECT_THROW(read_trace(ss), std::invalid_argument);
+}
+
+TEST(Trace, LaterBlocksInheritNodeCount) {
+  std::stringstream ss("n 4\n0 1\n--\n2 3\n");
+  const auto graphs = read_trace(ss);
+  ASSERT_EQ(graphs.size(), 2u);
+  EXPECT_EQ(graphs[1].node_count(), 4);
+  EXPECT_TRUE(graphs[1].has_edge(2, 3));
+}
+
+TEST(Files, SaveAndLoad) {
+  const std::string path = "/tmp/dynagossip_io_test.graph";
+  const Graph g = make_clique(5);
+  save_graph(path, g);
+  const Graph back = load_graph(path);
+  EXPECT_EQ(back.edge_count(), 10);
+  std::remove(path.c_str());
+
+  const std::string trace_path = "/tmp/dynagossip_io_test.trace";
+  save_trace(trace_path, {make_star(4), make_path(4)});
+  const auto trace = load_trace(trace_path);
+  EXPECT_EQ(trace.size(), 2u);
+  std::remove(trace_path.c_str());
+
+  EXPECT_THROW(load_graph("/nonexistent/nope.graph"), std::invalid_argument);
+}
+
+TEST(Dot, RendersNodesAndEdges) {
+  const Graph g = make_path(3);
+  std::stringstream ss;
+  write_dot(ss, g);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("graph G {"), std::string::npos);
+  EXPECT_NE(out.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(out.find("1 -- 2;"), std::string::npos);
+}
+
+TEST(Dot, HighlightsInformedNodes) {
+  const Graph g = make_path(3);
+  std::stringstream ss;
+  write_dot(ss, g, {1, 0, 1});
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("fillcolor"), std::string::npos);
+  EXPECT_THROW(write_dot(ss, g, {1, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rumor

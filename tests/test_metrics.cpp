@@ -1,0 +1,227 @@
+// Unit tests for conductance and diligence: exact values on known families,
+// the Cheeger sandwich, and the paper's stated facts (Section 1.1):
+//   * stars are 1-diligent and absolutely 1-diligent;
+//   * regular graphs are 1-diligent;
+//   * 1/(n-1) <= ρ(G) <= 1 for connected G.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builders.h"
+#include "graph/conductance.h"
+#include "graph/diligence.h"
+#include "graph/profile.h"
+#include "graph/random_graphs.h"
+
+namespace rumor {
+namespace {
+
+TEST(Conductance, CliqueClosedForm) {
+  // Φ(K_n): cut of size s*(n-s) over volume s*(n-1), minimized at s = n/2.
+  for (NodeId n : {4, 5, 6, 8}) {
+    const double expected =
+        static_cast<double>(n - n / 2) / static_cast<double>(n - 1);
+    EXPECT_NEAR(exact_conductance(make_clique(n)), expected, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(Conductance, StarIsOne) {
+  for (NodeId n : {3, 5, 9}) EXPECT_NEAR(exact_conductance(make_star(n)), 1.0, 1e-12);
+}
+
+TEST(Conductance, CycleClosedForm) {
+  // Φ(C_n) = 2 / (2 * floor(n/2)) = 1/floor(n/2): halve the cycle.
+  for (NodeId n : {4, 6, 8, 10}) {
+    EXPECT_NEAR(exact_conductance(make_cycle(n)), 1.0 / (n / 2), 1e-12) << "n=" << n;
+  }
+}
+
+TEST(Conductance, PathClosedForm) {
+  // Splitting an n-path in the middle: 1 edge over volume ~ n-1.
+  const double phi6 = exact_conductance(make_path(6));
+  EXPECT_NEAR(phi6, 1.0 / 5.0, 1e-12);  // S = first 3 nodes: cut 1, vol 5
+}
+
+TEST(Conductance, DisconnectedIsZero) {
+  EXPECT_DOUBLE_EQ(exact_conductance(Graph(4, {{0, 1}, {2, 3}})), 0.0);
+}
+
+TEST(Conductance, CompleteBipartiteBalanced) {
+  // K_{a,a}: Φ = 1/2 (split one side from the other... the minimizing cut
+  // takes half of each side). Validated numerically against enumeration.
+  const double phi = exact_conductance(make_complete_bipartite(3, 3));
+  EXPECT_GT(phi, 0.4);
+  EXPECT_LE(phi, 0.6);
+}
+
+TEST(Conductance, SizeGuards) {
+  EXPECT_THROW(exact_conductance(Graph(1, {})), std::invalid_argument);
+  EXPECT_THROW(exact_conductance(make_clique(25)), std::invalid_argument);
+}
+
+TEST(CutHelpers, CutSizeAndVolume) {
+  const Graph g = make_cycle(6);
+  std::vector<bool> in_s(6, false);
+  in_s[0] = in_s[1] = in_s[2] = true;
+  EXPECT_EQ(cut_size(g, in_s), 2);
+  EXPECT_EQ(subset_volume(g, in_s), 6);
+}
+
+class CheegerSandwich : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheegerSandwich, SpectralBoundsBracketExactConductance) {
+  // λ₂/2 <= Φ <= sqrt(2 λ₂) on assorted small graphs.
+  const int which = GetParam();
+  Graph g;
+  switch (which) {
+    case 0: g = make_clique(8); break;
+    case 1: g = make_star(9); break;
+    case 2: g = make_cycle(10); break;
+    case 3: g = make_path(8); break;
+    case 4: g = make_complete_bipartite(4, 5); break;
+    case 5: g = make_pendant_clique(7); break;
+    case 6: g = make_two_cliques_bridge(5, 5, 0, 5); break;
+    case 7: {
+      Rng rng(9);
+      g = random_connected_regular(rng, 12, 4);
+      break;
+    }
+    default: g = make_clique(4);
+  }
+  const double phi = exact_conductance(g);
+  const auto bounds = spectral_conductance_bounds(g);
+  EXPECT_LE(bounds.lower, phi + 1e-6);
+  EXPECT_GE(bounds.upper, phi - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, CheegerSandwich, ::testing::Range(0, 8));
+
+TEST(Spectral, ExpanderHasLargeGap) {
+  Rng rng(11);
+  const Graph g = random_connected_regular(rng, 200, 4);
+  const auto bounds = spectral_conductance_bounds(g);
+  // Random 4-regular graphs have λ₂ bounded away from 0 (expander).
+  EXPECT_GT(bounds.lambda2, 0.05);
+}
+
+TEST(Spectral, DisconnectedGivesZero) {
+  const auto bounds = spectral_conductance_bounds(Graph(4, {{0, 1}, {2, 3}}));
+  EXPECT_DOUBLE_EQ(bounds.lower, 0.0);
+  EXPECT_DOUBLE_EQ(bounds.upper, 0.0);
+}
+
+TEST(Diligence, StarIsOneDiligent) {
+  // Paper Section 1.1: a sequence of stars is 1-diligent and absolutely
+  // 1-diligent.
+  for (NodeId n : {4, 6, 9}) {
+    EXPECT_NEAR(exact_diligence(make_star(n)), 1.0, 1e-12) << "n=" << n;
+    EXPECT_NEAR(absolute_diligence(make_star(n)), 1.0, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(Diligence, RegularGraphsAreOneDiligent) {
+  EXPECT_NEAR(exact_diligence(make_clique(6)), 1.0, 1e-12);
+  EXPECT_NEAR(exact_diligence(make_cycle(8)), 1.0, 1e-12);
+  EXPECT_NEAR(exact_diligence(make_regular_circulant(10, 4)), 1.0, 1e-12);
+}
+
+class DiligenceRange : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiligenceRange, WithinPaperBounds) {
+  // 1/(n-1) <= ρ(G) <= 1 for every connected G (paper, Section 1.1).
+  const int which = GetParam();
+  Graph g;
+  switch (which) {
+    case 0: g = make_path(7); break;
+    case 1: g = make_star(8); break;
+    case 2: g = make_pendant_clique(6); break;
+    case 3: g = make_complete_bipartite(2, 7); break;
+    case 4: g = make_two_cliques_bridge(4, 4, 0, 4); break;
+    case 5: {
+      Rng rng(3);
+      g = random_connected_regular(rng, 10, 3);
+      break;
+    }
+    default: g = make_clique(5);
+  }
+  const double rho = exact_diligence(g);
+  EXPECT_GE(rho, 1.0 / (g.node_count() - 1) - 1e-12);
+  EXPECT_LE(rho, 1.0 + 1e-12);
+  // Absolute diligence obeys the same range for connected graphs.
+  const double abs_rho = absolute_diligence(g);
+  EXPECT_GE(abs_rho, 1.0 / (g.node_count() - 1) - 1e-12);
+  EXPECT_LE(abs_rho, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, DiligenceRange, ::testing::Range(0, 6));
+
+TEST(Diligence, DisconnectedIsZero) {
+  EXPECT_DOUBLE_EQ(exact_diligence(Graph(4, {{0, 1}, {2, 3}})), 0.0);
+}
+
+TEST(AbsoluteDiligence, KnownValues) {
+  EXPECT_NEAR(absolute_diligence(make_clique(6)), 1.0 / 5.0, 1e-12);
+  EXPECT_NEAR(absolute_diligence(make_cycle(8)), 1.0 / 2.0, 1e-12);
+  EXPECT_NEAR(absolute_diligence(make_path(5)), 1.0 / 2.0, 1e-12);
+  // Path edge {0,1}: max(1/1, 1/2) = 1... endpoints have degree 1.
+  EXPECT_NEAR(absolute_diligence(make_path(2)), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(absolute_diligence(Graph(3, {})), 0.0);
+}
+
+TEST(AbsoluteDiligence, PathInteriorEdgeWins) {
+  // For a 5-path the minimizing edge is interior: max(1/2, 1/2) = 1/2.
+  EXPECT_NEAR(absolute_diligence(make_path(5)), 0.5, 1e-12);
+}
+
+TEST(DiligenceLowerBound, DeltaOverDeltaMax) {
+  const Graph g = make_star(6);
+  EXPECT_NEAR(diligence_lower_bound(g), 1.0 / 5.0, 1e-12);
+  EXPECT_LE(diligence_lower_bound(g), exact_diligence(g) + 1e-12);
+  EXPECT_DOUBLE_EQ(diligence_lower_bound(Graph(4, {{0, 1}, {2, 3}})), 0.0);
+}
+
+TEST(CutDiligence, SingletonCutOnStar) {
+  const Graph g = make_star(5);  // centre 0
+  std::vector<bool> in_s(5, false);
+  in_s[1] = true;  // one leaf: d̄(S) = 1, crossing edge {0,1}: max(1/4, 1/1) = 1
+  EXPECT_NEAR(cut_diligence(g, in_s), 1.0, 1e-12);
+}
+
+TEST(CutDiligence, NoCrossingEdgesIsInfinite) {
+  const Graph g(4, {{0, 1}, {2, 3}});
+  std::vector<bool> in_s(4, false);
+  in_s[0] = in_s[1] = true;
+  EXPECT_TRUE(std::isinf(cut_diligence(g, in_s)));
+}
+
+TEST(Profile, ExactSmallGraph) {
+  const auto p = compute_profile(make_star(8));
+  EXPECT_TRUE(p.exact);
+  EXPECT_TRUE(p.connected);
+  EXPECT_NEAR(p.conductance, 1.0, 1e-12);
+  EXPECT_NEAR(p.diligence, 1.0, 1e-12);
+  EXPECT_NEAR(p.abs_diligence, 1.0, 1e-12);
+  EXPECT_NEAR(p.phi_rho(), 1.0, 1e-12);
+  EXPECT_NEAR(p.ceil_phi_abs_rho(), 1.0, 1e-12);
+}
+
+TEST(Profile, LargeGraphUsesLowerBounds) {
+  const auto p = compute_profile(make_clique(40));
+  EXPECT_FALSE(p.exact);
+  EXPECT_TRUE(p.connected);
+  EXPECT_GT(p.conductance, 0.0);
+  // Lower bounds must not exceed truth: Φ(K_40) ~ 0.51, ρ = 1.
+  EXPECT_LE(p.conductance, 0.55);
+  EXPECT_NEAR(p.diligence, 1.0, 1e-12);  // δ/Δ = 1 for regular
+}
+
+TEST(Profile, DisconnectedContributesNothing) {
+  const auto p = compute_profile(Graph(4, {{0, 1}, {2, 3}}));
+  EXPECT_FALSE(p.connected);
+  EXPECT_DOUBLE_EQ(p.phi_rho(), 0.0);
+  EXPECT_DOUBLE_EQ(p.ceil_phi_abs_rho(), 0.0);
+  EXPECT_GT(p.abs_diligence, 0.0);  // ρ̄ itself is still defined
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,110 @@
+// Unit tests for the random graph generators.
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/random_graphs.h"
+#include "stats/summary.h"
+
+namespace rumor {
+namespace {
+
+class RandomRegular : public ::testing::TestWithParam<std::tuple<NodeId, NodeId, std::uint64_t>> {
+};
+
+TEST_P(RandomRegular, ExactDegreesAndSimplicity) {
+  const auto [n, d, seed] = GetParam();
+  Rng rng(seed);
+  const Graph g = random_regular(rng, n, d);
+  EXPECT_EQ(g.node_count(), n);
+  EXPECT_EQ(g.min_degree(), d);
+  EXPECT_EQ(g.max_degree(), d);
+  EXPECT_EQ(g.edge_count(), static_cast<std::int64_t>(n) * d / 2);
+  // Simplicity is enforced by the Graph constructor; reaching here proves it.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomRegular,
+    ::testing::ValuesIn(std::vector<std::tuple<NodeId, NodeId, std::uint64_t>>{
+        {10, 3, 1},
+        {10, 4, 2},
+        {50, 4, 3},
+        {64, 3, 4},
+        {64, 8, 5},
+        {128, 4, 6},
+        {128, 16, 7},
+        {200, 5, 8},
+        {256, 4, 9},
+        {500, 6, 10}}));
+
+TEST(RandomRegular, DegreeZeroGivesEmptyGraph) {
+  Rng rng(1);
+  const Graph g = random_regular(rng, 5, 0);
+  EXPECT_EQ(g.edge_count(), 0);
+}
+
+TEST(RandomRegular, RejectsOddProduct) {
+  Rng rng(1);
+  EXPECT_THROW(random_regular(rng, 5, 3), std::invalid_argument);
+  EXPECT_THROW(random_regular(rng, 5, 5), std::invalid_argument);
+}
+
+TEST(RandomRegular, FourRegularIsUsuallyConnected) {
+  // Random 4-regular graphs are connected (and expanders) a.a.s.
+  int connected = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed + 100);
+    if (is_connected(random_regular(rng, 100, 4))) ++connected;
+  }
+  EXPECT_GE(connected, 19);
+}
+
+TEST(RandomConnectedRegular, AlwaysConnected) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const Graph g = random_connected_regular(rng, 60, 3);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_EQ(g.min_degree(), 3);
+    EXPECT_EQ(g.max_degree(), 3);
+  }
+}
+
+TEST(ErdosRenyi, EdgeCountConcentrates) {
+  Rng rng(42);
+  const NodeId n = 100;
+  const double p = 0.05;
+  OnlineStats s;
+  for (int i = 0; i < 50; ++i)
+    s.add(static_cast<double>(erdos_renyi(rng, n, p).edge_count()));
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(s.mean(), expected, expected * 0.08);
+}
+
+TEST(ErdosRenyi, ExtremesAndValidation) {
+  Rng rng(43);
+  EXPECT_EQ(erdos_renyi(rng, 10, 0.0).edge_count(), 0);
+  EXPECT_EQ(erdos_renyi(rng, 10, 1.0).edge_count(), 45);
+  EXPECT_THROW(erdos_renyi(rng, 10, 1.5), std::invalid_argument);
+  EXPECT_THROW(erdos_renyi(rng, 10, -0.1), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, AllEdgesValidSimple) {
+  Rng rng(44);
+  const Graph g = erdos_renyi(rng, 40, 0.2);
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(e.u, e.v);
+    EXPECT_GE(e.u, 0);
+    EXPECT_LT(e.v, 40);
+  }
+}
+
+TEST(ErdosRenyi, DeterministicForSeed) {
+  Rng a(7), b(7);
+  const Graph ga = erdos_renyi(a, 30, 0.1);
+  const Graph gb = erdos_renyi(b, 30, 0.1);
+  EXPECT_EQ(ga.edges().size(), gb.edges().size());
+  for (std::size_t i = 0; i < ga.edges().size(); ++i)
+    EXPECT_TRUE(ga.edges()[i] == gb.edges()[i]);
+}
+
+}  // namespace
+}  // namespace rumor

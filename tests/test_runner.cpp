@@ -1,0 +1,164 @@
+// Tests for the multi-trial runner.
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "dynamic/dynamic_star.h"
+#include "dynamic/simple_networks.h"
+#include "graph/builders.h"
+
+namespace rumor {
+namespace {
+
+NetworkFactory clique_factory(NodeId n) {
+  return [n](std::uint64_t) { return std::make_unique<StaticNetwork>(make_clique(n)); };
+}
+
+TEST(Runner, RunsRequestedTrials) {
+  RunnerOptions opt;
+  opt.trials = 7;
+  const auto report = run_trials(clique_factory(16), opt);
+  EXPECT_EQ(report.trials, 7);
+  EXPECT_EQ(report.completed, 7);
+  EXPECT_EQ(report.spread_time.count(), 7u);
+  EXPECT_DOUBLE_EQ(report.completion_rate(), 1.0);
+}
+
+TEST(Runner, DeterministicForSeed) {
+  RunnerOptions opt;
+  opt.trials = 5;
+  opt.seed = 42;
+  const auto a = run_trials(clique_factory(16), opt);
+  const auto b = run_trials(clique_factory(16), opt);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_DOUBLE_EQ(a.spread_time.values()[i], b.spread_time.values()[i]);
+}
+
+TEST(Runner, DifferentSeedsDiffer) {
+  RunnerOptions opt;
+  opt.trials = 5;
+  opt.seed = 1;
+  const auto a = run_trials(clique_factory(16), opt);
+  opt.seed = 2;
+  const auto b = run_trials(clique_factory(16), opt);
+  EXPECT_NE(a.spread_time.mean(), b.spread_time.mean());
+}
+
+TEST(Runner, UsesSuggestedSource) {
+  // The dynamic star suggests leaf 1; the runner must complete from there.
+  RunnerOptions opt;
+  opt.trials = 3;
+  const auto report = run_trials(
+      [](std::uint64_t seed) { return std::make_unique<DynamicStarNetwork>(12, seed); }, opt);
+  EXPECT_EQ(report.completed, 3);
+}
+
+TEST(Runner, ExplicitSourceOverride) {
+  RunnerOptions opt;
+  opt.trials = 3;
+  opt.source = 5;
+  const auto report = run_trials(clique_factory(16), opt);
+  EXPECT_EQ(report.completed, 3);
+}
+
+TEST(Runner, SyncEngineSelectable) {
+  RunnerOptions opt;
+  opt.engine = EngineKind::sync_rounds;
+  opt.trials = 4;
+  const auto report = run_trials(clique_factory(16), opt);
+  EXPECT_EQ(report.completed, 4);
+  for (double t : report.spread_time.values()) EXPECT_EQ(t, std::floor(t));
+}
+
+TEST(Runner, FloodingEngineSelectable) {
+  RunnerOptions opt;
+  opt.engine = EngineKind::flooding;
+  opt.trials = 2;
+  const auto report = run_trials(clique_factory(16), opt);
+  EXPECT_EQ(report.completed, 2);
+  EXPECT_DOUBLE_EQ(report.spread_time.mean(), 1.0);
+}
+
+TEST(Runner, TickEngineSelectable) {
+  RunnerOptions opt;
+  opt.engine = EngineKind::async_tick;
+  opt.trials = 3;
+  const auto report = run_trials(clique_factory(12), opt);
+  EXPECT_EQ(report.completed, 3);
+}
+
+TEST(Runner, BoundTrackingProducesCrossings) {
+  // On the dynamic star (Φ·ρ = 1 and ρ̄ = 1 per step), both thresholds cross
+  // at deterministic steps: T11 = ceil(C(c) ln n) - 1, T13 = 2n - 1.
+  RunnerOptions opt;
+  opt.trials = 3;
+  opt.track_bounds = true;
+  const NodeId leaves = 12;
+  const auto report = run_trials(
+      [](std::uint64_t seed) { return std::make_unique<DynamicStarNetwork>(12, seed); }, opt);
+  ASSERT_EQ(report.theorem11_crossing.count(), 3u);
+  ASSERT_EQ(report.theorem13_crossing.count(), 3u);
+  const NodeId n = leaves + 1;
+  const double t11_expected = std::ceil(theorem11_threshold(n, 1.0)) - 1.0;
+  EXPECT_NEAR(report.theorem11_crossing.mean(), t11_expected, 1.0);
+  EXPECT_DOUBLE_EQ(report.theorem13_crossing.mean(), 2.0 * n - 1.0);
+}
+
+TEST(Runner, IncompleteRunsCounted) {
+  // Disconnected network: no trial completes.
+  RunnerOptions opt;
+  opt.trials = 3;
+  opt.time_limit = 5.0;
+  const auto report = run_trials(
+      [](std::uint64_t) { return std::make_unique<StaticNetwork>(Graph(4, {{0, 1}, {2, 3}})); },
+      opt);
+  EXPECT_EQ(report.completed, 0);
+  EXPECT_EQ(report.spread_time.count(), 0u);
+  EXPECT_DOUBLE_EQ(report.completion_rate(), 0.0);
+}
+
+TEST(Runner, RejectsZeroTrials) {
+  RunnerOptions opt;
+  opt.trials = 0;
+  EXPECT_THROW(run_trials(clique_factory(4), opt), std::invalid_argument);
+}
+
+TEST(EngineKindNames, AllDistinct) {
+  EXPECT_EQ(to_string(EngineKind::async_jump), "async-jump");
+  EXPECT_EQ(to_string(EngineKind::async_tick), "async-tick");
+  EXPECT_EQ(to_string(EngineKind::sync_rounds), "sync");
+  EXPECT_EQ(to_string(EngineKind::flooding), "flooding");
+}
+
+
+TEST(Runner, ParallelMatchesSerial) {
+  RunnerOptions opt;
+  opt.trials = 8;
+  opt.seed = 99;
+  const auto serial = run_trials(clique_factory(24), opt);
+  opt.threads = 4;
+  const auto parallel = run_trials(clique_factory(24), opt);
+  ASSERT_EQ(serial.spread_time.count(), parallel.spread_time.count());
+  for (std::size_t i = 0; i < serial.spread_time.count(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.spread_time.values()[i], parallel.spread_time.values()[i]);
+  }
+}
+
+TEST(Runner, ParallelWithBoundTracking) {
+  RunnerOptions opt;
+  opt.trials = 6;
+  opt.threads = 3;
+  opt.track_bounds = true;
+  const auto report = run_trials(
+      [](std::uint64_t seed) { return std::make_unique<DynamicStarNetwork>(16, seed); }, opt);
+  EXPECT_EQ(report.completed, 6);
+  EXPECT_EQ(report.theorem13_crossing.count(), 6u);
+}
+
+TEST(Runner, RejectsZeroThreads) {
+  RunnerOptions opt;
+  opt.threads = 0;
+  EXPECT_THROW(run_trials(clique_factory(4), opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rumor

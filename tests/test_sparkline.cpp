@@ -1,0 +1,47 @@
+// Tests for the ASCII sparkline renderer.
+#include <gtest/gtest.h>
+
+#include "support/sparkline.h"
+
+namespace rumor {
+namespace {
+
+TEST(Sparkline, EmptyTraceEmptyString) {
+  EXPECT_TRUE(sparkline({}).empty());
+}
+
+TEST(Sparkline, WidthRespected) {
+  const std::vector<std::pair<double, std::int64_t>> trace{{0.0, 1}, {1.0, 2}, {2.0, 4}};
+  const std::string s = sparkline(trace, 10);
+  // Each glyph is a multi-byte UTF-8 block char or a space; count glyphs.
+  std::size_t glyphs = 0;
+  for (std::size_t i = 0; i < s.size();) {
+    const auto c = static_cast<unsigned char>(s[i]);
+    i += c < 0x80 ? 1 : (c < 0xE0 ? 2 : 3);
+    ++glyphs;
+  }
+  EXPECT_EQ(glyphs, 10u);
+}
+
+TEST(Sparkline, MonotoneTraceEndsAtFullBlock) {
+  std::vector<std::pair<double, std::int64_t>> trace;
+  for (int i = 0; i <= 100; ++i) trace.push_back({static_cast<double>(i), i + 1});
+  const std::string s = sparkline(trace, 20, 101);
+  // The final glyph must be the full block (count == peak).
+  EXPECT_EQ(s.substr(s.size() - 3), "█");
+}
+
+TEST(Sparkline, FlatTraceRendersUniform) {
+  const std::vector<std::pair<double, std::int64_t>> trace{{0.0, 5}, {10.0, 5}};
+  const std::string s = sparkline(trace, 8, 10);
+  // Every bucket has the same level: the string is one glyph repeated.
+  const std::string first = s.substr(0, 3);
+  for (std::size_t i = 0; i < s.size(); i += 3) EXPECT_EQ(s.substr(i, 3), first);
+}
+
+TEST(Sparkline, ValidatesWidth) {
+  EXPECT_THROW(sparkline({{0.0, 1}}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rumor

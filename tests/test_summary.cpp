@@ -1,0 +1,140 @@
+// Unit tests for summaries, the KS test, regression fits, and the histogram.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/histogram.h"
+#include "stats/ks.h"
+#include "stats/regression.h"
+#include "stats/rng.h"
+#include "stats/summary.h"
+
+namespace rumor {
+namespace {
+
+TEST(OnlineStats, MatchesClosedForm) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stderr_mean(), s.stddev() / std::sqrt(8.0), 1e-12);
+}
+
+TEST(OnlineStats, EmptyRejected) {
+  OnlineStats s;
+  EXPECT_THROW(s.mean(), std::invalid_argument);
+  EXPECT_THROW(s.min(), std::invalid_argument);
+}
+
+TEST(SampleSet, QuantilesInterpolate) {
+  SampleSet s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.125), 1.5);
+  EXPECT_THROW(s.quantile(1.5), std::invalid_argument);
+}
+
+TEST(SampleSet, StaysConsistentAfterMoreAdds) {
+  SampleSet s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+  s.add(20.0);  // must invalidate the sort cache
+  EXPECT_DOUBLE_EQ(s.median(), 15.0);
+  EXPECT_DOUBLE_EQ(s.min(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+}
+
+TEST(KsTest, SameDistributionHighPValue) {
+  Rng rng(1);
+  std::vector<double> a, b;
+  for (int i = 0; i < 800; ++i) {
+    a.push_back(rng.uniform());
+    b.push_back(rng.uniform());
+  }
+  const auto r = ks_two_sample(a, b);
+  EXPECT_GT(r.p_value, 0.001);
+  EXPECT_LT(r.statistic, 0.1);
+}
+
+TEST(KsTest, DifferentDistributionsLowPValue) {
+  Rng rng(2);
+  std::vector<double> a, b;
+  for (int i = 0; i < 800; ++i) {
+    a.push_back(rng.uniform());
+    b.push_back(rng.uniform() + 0.3);
+  }
+  const auto r = ks_two_sample(a, b);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_GT(r.statistic, 0.2);
+}
+
+TEST(KsTest, IdenticalSamplesStatisticZero) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  const auto r = ks_two_sample(a, a);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_GT(r.p_value, 0.99);
+}
+
+TEST(KolmogorovSurvival, KnownValues) {
+  EXPECT_DOUBLE_EQ(kolmogorov_survival(0.0), 1.0);
+  EXPECT_NEAR(kolmogorov_survival(1.36), 0.05, 0.005);  // classic 5% critical value
+  EXPECT_LT(kolmogorov_survival(3.0), 1e-6);
+}
+
+TEST(Regression, ExactLine) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{3, 5, 7, 9};  // y = 1 + 2x
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Regression, PowerLawRecoversExponent) {
+  std::vector<double> x, y;
+  for (double v : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * v * v);  // exponent 2
+  }
+  const auto fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-10);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-8);
+}
+
+TEST(Regression, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_linear({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(fit_linear({1.0, 1.0}, {2.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(fit_power_law({1.0, -2.0}, {2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(1.9);
+  h.add(5.0);
+  h.add(10.0);
+  h.add(25.0);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+  EXPECT_EQ(h.count(0), 2);  // 0.0 and 1.9
+  EXPECT_EQ(h.count(2), 1);  // 5.0
+  EXPECT_EQ(h.total(), 6);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 10.0);
+  EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rumor

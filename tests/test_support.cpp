@@ -1,0 +1,88 @@
+// Unit tests for the support module: contracts, table printer, CLI parser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/cli.h"
+#include "support/contracts.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace rumor {
+namespace {
+
+TEST(Contracts, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(DG_REQUIRE(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(DG_REQUIRE(true, "fine"));
+}
+
+TEST(Contracts, AssertThrowsLogicError) {
+  EXPECT_THROW(DG_ASSERT(false, "boom"), std::logic_error);
+  EXPECT_NO_THROW(DG_ASSERT(true, "fine"));
+}
+
+TEST(Contracts, MessagesCarryContext) {
+  try {
+    DG_REQUIRE(1 == 2, "math broke");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+    EXPECT_NE(msg.find("math broke"), std::string::npos);
+  }
+}
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", Table::cell(1.5)});
+  t.add_row({"b", Table::cell(static_cast<std::int64_t>(42))});
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 2u);
+
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchRejected) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CellFormatsSpecials) {
+  EXPECT_EQ(Table::cell(std::nan("")), "n/a");
+  EXPECT_EQ(Table::cell(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(Table::cell(1234.5678, 6), "1234.57");
+}
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--n=128", "--rho", "0.5", "--verbose"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 128);
+  EXPECT_DOUBLE_EQ(cli.get_double("rho", 0.0), 0.5);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_TRUE(cli.has("n"));
+  EXPECT_FALSE(cli.has("absent"));
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(Cli(2, const_cast<char**>(argv)), std::invalid_argument);
+}
+
+TEST(Timer, MeasuresNonNegativeTime) {
+  Timer timer;
+  EXPECT_GE(timer.seconds(), 0.0);
+  timer.reset();
+  EXPECT_GE(timer.seconds(), 0.0);
+  EXPECT_LT(timer.seconds(), 5.0);
+}
+
+}  // namespace
+}  // namespace rumor

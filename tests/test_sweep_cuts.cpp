@@ -1,0 +1,111 @@
+// Tests for the sweep-cut upper bounds: always valid (>= the exact minimum),
+// and exact on the families whose minimizing cut is a sweep prefix.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builders.h"
+#include "graph/conductance.h"
+#include "graph/diligence.h"
+#include "graph/extra_builders.h"
+#include "graph/hk_graph.h"
+#include "graph/random_graphs.h"
+
+namespace rumor {
+namespace {
+
+class SweepVsExact : public ::testing::TestWithParam<int> {};
+
+Graph graph_for(int which) {
+  switch (which) {
+    case 0: return make_clique(10);
+    case 1: return make_star(11);
+    case 2: return make_cycle(12);
+    case 3: return make_path(10);
+    case 4: return make_two_cliques_bridge(6, 6, 0, 6);
+    case 5: return make_pendant_clique(9);
+    case 6: return make_hypercube(3);
+    case 7: {
+      Rng rng(5);
+      return random_connected_regular(rng, 12, 4);
+    }
+    case 8: return make_barbell(5, 2);
+    default: return make_clique(4);
+  }
+}
+
+TEST_P(SweepVsExact, ConductanceSweepIsValidUpperBound) {
+  const Graph g = graph_for(GetParam());
+  const double sweep = conductance_upper_bound_sweep(g);
+  const double exact = exact_conductance(g);
+  EXPECT_GE(sweep, exact - 1e-12);
+}
+
+TEST_P(SweepVsExact, DiligenceSweepIsValidUpperBound) {
+  const Graph g = graph_for(GetParam());
+  const double sweep = diligence_upper_bound_sweep(g);
+  const double exact = exact_diligence(g);
+  EXPECT_GE(sweep, exact - 1e-12);
+  EXPECT_LE(sweep, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, SweepVsExact, ::testing::Range(0, 9));
+
+TEST(SweepConductance, ExactOnSweepMinimizedFamilies) {
+  // Cycle: the minimizing arc is a BFS ball.
+  EXPECT_NEAR(conductance_upper_bound_sweep(make_cycle(12)), exact_conductance(make_cycle(12)),
+              1e-12);
+  // Clique: any half prefix minimizes.
+  EXPECT_NEAR(conductance_upper_bound_sweep(make_clique(10)),
+              exact_conductance(make_clique(10)), 1e-12);
+  // Bridged cliques: BFS from inside one clique reaches the bridge cut.
+  const Graph bridge = make_two_cliques_bridge(6, 6, 0, 6);
+  EXPECT_NEAR(conductance_upper_bound_sweep(bridge), exact_conductance(bridge), 1e-12);
+  // Star: the all-leaves prefix of the degree ordering gives 1.
+  EXPECT_NEAR(conductance_upper_bound_sweep(make_star(11)), 1.0, 1e-12);
+}
+
+TEST(SweepDiligence, OneOnRegularGraphs) {
+  // Every admissible cut of a regular graph has ρ(S) = 1.
+  EXPECT_NEAR(diligence_upper_bound_sweep(make_clique(16)), 1.0, 1e-12);
+  EXPECT_NEAR(diligence_upper_bound_sweep(make_cycle(20)), 1.0, 1e-12);
+  EXPECT_NEAR(diligence_upper_bound_sweep(make_hypercube(4)), 1.0, 1e-12);
+}
+
+TEST(SweepCuts, DisconnectedGiveZero) {
+  const Graph g(4, {{0, 1}, {2, 3}});
+  EXPECT_DOUBLE_EQ(conductance_upper_bound_sweep(g), 0.0);
+  EXPECT_DOUBLE_EQ(diligence_upper_bound_sweep(g), 0.0);
+}
+
+TEST(SweepCuts, BracketWithSpectralAndDegreeBounds) {
+  // On a mid-size graph the certified bounds must bracket the sweep values:
+  // λ₂/2 <= Φ <= sweep, δ/Δ <= ρ <= sweep.
+  Rng rng(7);
+  const Graph g = random_connected_regular(rng, 200, 4);
+  const auto spectral = spectral_conductance_bounds(g);
+  const double phi_sweep = conductance_upper_bound_sweep(g);
+  EXPECT_LE(spectral.lower, phi_sweep + 1e-9);
+  EXPECT_GE(phi_sweep, 0.0);
+  const double rho_sweep = diligence_upper_bound_sweep(g);
+  EXPECT_LE(diligence_lower_bound(g), rho_sweep + 1e-9);
+}
+
+TEST(SweepDiligence, FindsSmallDiligenceOnHGraph) {
+  // Observation 4.1: ρ(H_{k,Δ}) = Θ(1/Δ). The sweep must find a cut with
+  // diligence within a constant of 1/Δ — the A ∪ S_1 cut is a BFS layer.
+  Rng rng(3);
+  const NodeId delta = 8;
+  const int k = 3;
+  const NodeId a_count = 40, n = 160;
+  std::vector<NodeId> a_side(static_cast<std::size_t>(a_count));
+  std::vector<NodeId> b_side(static_cast<std::size_t>(n - a_count));
+  std::iota(a_side.begin(), a_side.end(), 0);
+  std::iota(b_side.begin(), b_side.end(), a_count);
+  const HkGraph h = build_hk_graph(rng, n, a_side, b_side, k, delta);
+  const double rho_sweep = diligence_upper_bound_sweep(h.graph);
+  EXPECT_LE(rho_sweep, 8.0 / static_cast<double>(delta));
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,145 @@
+// Tests for the synchronous and flooding engines, including the exact
+// round-semantics that Theorem 1.7(ii) depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sync_engine.h"
+#include "dynamic/dynamic_star.h"
+#include "dynamic/simple_networks.h"
+#include "graph/builders.h"
+#include "stats/summary.h"
+
+namespace rumor {
+namespace {
+
+SpreadResult sync_once(const Graph& g, NodeId source, std::uint64_t seed,
+                       SyncOptions opt = {}) {
+  StaticNetwork net(g);
+  Rng rng(seed);
+  return run_sync(net, source, rng, opt);
+}
+
+TEST(SyncEngine, CompletesOnConnectedGraphs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto r = sync_once(make_clique(32), 0, seed);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.informed_count, 32);
+    EXPECT_EQ(r.informative_contacts, 31);
+  }
+}
+
+TEST(SyncEngine, CliqueLogRounds) {
+  SampleSet s;
+  for (std::uint64_t seed = 0; seed < 20; ++seed)
+    s.add(sync_once(make_clique(256), 0, 50 + seed).spread_time);
+  const double log2n = std::log2(256.0);
+  // Known: push-pull on K_n needs ~log_3 n + O(log log n) rounds.
+  EXPECT_GT(s.mean(), 0.4 * log2n);
+  EXPECT_LT(s.mean(), 3.0 * log2n);
+}
+
+TEST(SyncEngine, TwoNodesOneRound) {
+  const auto r = sync_once(make_clique(2), 0, 1);
+  EXPECT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.spread_time, 1.0);
+}
+
+TEST(SyncEngine, StartOfRoundSemantics) {
+  // Path 0-1-2, source 0. Round 1: node 1 learns (push from 0 or pull by 1).
+  // Node 2 can never learn in round 1 because node 1 was uninformed at the
+  // start of that round — two rounds minimum.
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const auto r = sync_once(make_path(3), 0, seed);
+    EXPECT_TRUE(r.completed);
+    EXPECT_GE(r.spread_time, 2.0);
+  }
+}
+
+TEST(SyncEngine, DynamicStarIsExactlyN) {
+  // Theorem 1.7(ii): Ts(G2) = n. In every round the informed leaves push to
+  // the (uninformed) centre deterministically; the centre cannot relay until
+  // the next round, and by then it has been re-seated onto an uninformed leaf.
+  for (NodeId n : {8, 16, 33}) {
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      DynamicStarNetwork net(n, seed);
+      Rng rng(100 + seed);
+      const auto r = run_sync(net, net.suggested_source(), rng);
+      EXPECT_TRUE(r.completed);
+      EXPECT_DOUBLE_EQ(r.spread_time, static_cast<double>(n)) << "n=" << n;
+    }
+  }
+}
+
+TEST(SyncEngine, PushOnlyOnStarInformsCenterFirst) {
+  SyncOptions opt;
+  opt.protocol = Protocol::push;
+  const auto r = sync_once(make_star(12), 1, 3, opt);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GE(r.spread_time, 2.0);  // round 1: centre; later rounds: leaves
+}
+
+TEST(SyncEngine, PullOnlyCompletesOnClique) {
+  SyncOptions opt;
+  opt.protocol = Protocol::pull;
+  const auto r = sync_once(make_clique(16), 0, 5, opt);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(SyncEngine, RoundLimitRespected) {
+  SyncOptions opt;
+  opt.round_limit = 1;
+  const auto r = sync_once(make_path(64), 0, 1, opt);
+  EXPECT_FALSE(r.completed);
+  EXPECT_DOUBLE_EQ(r.spread_time, 1.0);
+}
+
+TEST(SyncEngine, TraceMonotoneNonDecreasing) {
+  SyncOptions opt;
+  opt.record_trace = true;
+  const auto r = sync_once(make_clique(32), 0, 7, opt);
+  for (std::size_t i = 1; i < r.trace.size(); ++i)
+    EXPECT_GE(r.trace[i].second, r.trace[i - 1].second);
+}
+
+TEST(Flooding, PathTakesEccentricityRounds) {
+  StaticNetwork net(make_path(10));
+  const auto r = run_flooding(net, 0);
+  EXPECT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.spread_time, 9.0);
+
+  StaticNetwork net2(make_path(11));
+  const auto r2 = run_flooding(net2, 5);  // middle node
+  EXPECT_DOUBLE_EQ(r2.spread_time, 5.0);
+}
+
+TEST(Flooding, CliqueIsOneRound) {
+  StaticNetwork net(make_clique(20));
+  const auto r = run_flooding(net, 3);
+  EXPECT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.spread_time, 1.0);
+}
+
+TEST(Flooding, SurvivesTemporaryDisconnection) {
+  std::vector<Graph> seq;
+  seq.push_back(Graph(3, {{0, 1}}));  // node 2 unreachable
+  seq.push_back(Graph(3, {{0, 1}}));
+  seq.push_back(make_path(3));  // reconnects at t = 2
+  TraceNetwork net(std::move(seq));
+  const auto r = run_flooding(net, 0);
+  EXPECT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.spread_time, 3.0);
+}
+
+TEST(Flooding, RoundLimitRespected) {
+  StaticNetwork net(Graph(3, {{0, 1}}));  // never completes
+  FloodingOptions opt;
+  opt.round_limit = 5;
+  const auto r = run_flooding(net, 0, opt);
+  EXPECT_FALSE(r.completed);
+  EXPECT_DOUBLE_EQ(r.spread_time, 5.0);
+  EXPECT_EQ(r.informed_count, 2);
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,259 @@
+// Integration tests: the paper's theorems exercised end-to-end at test scale.
+// Margins are generous — these check direction and order of growth; the full
+// parameter sweeps live in the bench/ experiment binaries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/runner.h"
+#include "dynamic/absolute_adversary.h"
+#include "dynamic/clique_bridge.h"
+#include "dynamic/diligent_adversary.h"
+#include "dynamic/dynamic_star.h"
+#include "dynamic/simple_networks.h"
+#include "graph/builders.h"
+#include "graph/random_graphs.h"
+
+namespace rumor {
+namespace {
+
+// --- Theorem 1.1: measured spread time <= trajectory crossing time T(G,c). --
+
+class Theorem11Holds : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem11Holds, SpreadWithinBound) {
+  NetworkFactory factory;
+  switch (GetParam()) {
+    case 0:  // dynamic star (Φρ = 1 per step)
+      factory = [](std::uint64_t seed) {
+        return std::make_unique<DynamicStarNetwork>(48, seed);
+      };
+      break;
+    case 1:  // static clique
+      factory = [](std::uint64_t) {
+        return std::make_unique<StaticNetwork>(make_clique(48));
+      };
+      break;
+    case 2:  // static 4-regular expander
+      factory = [](std::uint64_t seed) {
+        Rng rng(seed);
+        return std::make_unique<StaticNetwork>(random_connected_regular(rng, 48, 4));
+      };
+      break;
+    case 3:  // diligent adversary
+      factory = [](std::uint64_t seed) {
+        return std::make_unique<DiligentAdversaryNetwork>(256, 0.25, 2, seed);
+      };
+      break;
+    case 4:  // absolutely diligent adversary
+      factory = [](std::uint64_t seed) {
+        return std::make_unique<AbsoluteAdversaryNetwork>(128, 0.25, seed);
+      };
+      break;
+    default:
+      FAIL();
+  }
+
+  RunnerOptions opt;
+  opt.trials = 8;
+  opt.track_bounds = true;
+  opt.time_limit = 1e7;
+  const auto report = run_trials(factory, opt);
+  ASSERT_EQ(report.completed, opt.trials);
+
+  // Theorem 1.1 asserts spread <= T(G,c) w.h.p.; with these sizes a single
+  // violation across 8 trials would already be suspicious. Corollary 1.6
+  // allows either bound; we check against the better one when both crossed.
+  ASSERT_GT(report.theorem11_crossing.count() + report.theorem13_crossing.count(), 0u);
+  for (std::size_t i = 0; i < report.spread_time.count(); ++i) {
+    const double spread = report.spread_time.values()[i];
+    double bound = 1e30;
+    if (i < report.theorem11_crossing.count())
+      bound = std::min(bound, report.theorem11_crossing.values()[i]);
+    if (i < report.theorem13_crossing.count())
+      bound = std::min(bound, report.theorem13_crossing.values()[i]);
+    EXPECT_LE(spread, bound + 1.0) << "trial " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, Theorem11Holds, ::testing::Range(0, 5));
+
+// --- Theorem 1.7(i): on G1, async is Ω(n) while sync is Θ(log n). ----------
+
+TEST(Theorem17i, SyncBeatsAsyncOnG1) {
+  const NodeId n = 128;  // clique size; n+1 nodes total
+  RunnerOptions opt;
+  opt.trials = 10;
+  opt.time_limit = 1e7;
+
+  opt.engine = EngineKind::async_jump;
+  const auto async_report = run_trials(
+      [n](std::uint64_t) { return std::make_unique<CliqueBridgeNetwork>(n); }, opt);
+  opt.engine = EngineKind::sync_rounds;
+  const auto sync_report = run_trials(
+      [n](std::uint64_t) { return std::make_unique<CliqueBridgeNetwork>(n); }, opt);
+
+  ASSERT_EQ(async_report.completed, opt.trials);
+  ASSERT_EQ(sync_report.completed, opt.trials);
+
+  // Sync: first round pushes the rumor over the pendant edge with probability
+  // 1, then two cliques fill in O(log n) rounds.
+  EXPECT_LT(sync_report.spread_time.mean(), 4.0 * std::log2(n));
+  // Async: the bridge fires at rate Θ(1/n); with constant probability the
+  // pendant edge does not fire within [0,1). Mean must scale like n.
+  EXPECT_GT(async_report.spread_time.mean(), static_cast<double>(n) / 8.0);
+  // The dichotomy direction:
+  EXPECT_GT(async_report.spread_time.mean(), 3.0 * sync_report.spread_time.mean());
+}
+
+// --- Theorem 1.7(ii): on G2, sync = n exactly, async = Θ(log n). -----------
+
+TEST(Theorem17ii, AsyncBeatsSyncOnG2) {
+  const NodeId n = 256;  // leaves; n+1 nodes total
+  RunnerOptions opt;
+  opt.trials = 10;
+
+  opt.engine = EngineKind::sync_rounds;
+  const auto sync_report = run_trials(
+      [n](std::uint64_t seed) { return std::make_unique<DynamicStarNetwork>(n, seed); }, opt);
+  opt.engine = EngineKind::async_jump;
+  const auto async_report = run_trials(
+      [n](std::uint64_t seed) { return std::make_unique<DynamicStarNetwork>(n, seed); }, opt);
+
+  ASSERT_EQ(sync_report.completed, opt.trials);
+  ASSERT_EQ(async_report.completed, opt.trials);
+
+  // Ts(G2) = n exactly, every trial.
+  EXPECT_DOUBLE_EQ(sync_report.spread_time.min(), static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(sync_report.spread_time.max(), static_cast<double>(n));
+  // Ta(G2) = Θ(log n).
+  EXPECT_LT(async_report.spread_time.mean(), 8.0 * std::log(n));
+  EXPECT_GT(async_report.spread_time.mean(), 0.3 * std::log(n));
+}
+
+// --- Theorem 1.7(iii): Pr[Ta(G2) > 2k] decays exponentially in k. ----------
+
+TEST(Theorem17iii, TailDecays) {
+  const NodeId n = 64;
+  const int trials = 200;
+  int over_small = 0, over_large = 0;
+  const double k_small = 3.0, k_large = 6.0;
+  for (int i = 0; i < trials; ++i) {
+    DynamicStarNetwork net(n, 77 + static_cast<std::uint64_t>(i));
+    Rng rng(1234 + static_cast<std::uint64_t>(i));
+    const auto r = run_async_jump(net, net.suggested_source(), rng);
+    if (r.spread_time > 2.0 * k_small) ++over_small;
+    if (r.spread_time > 2.0 * k_large) ++over_large;
+  }
+  // Monotone decay and a sane absolute level at k = 6:
+  EXPECT_LE(over_large, over_small);
+  EXPECT_LT(static_cast<double>(over_large) / trials,
+            std::exp(-k_large / 2.0) + std::exp(-k_large) + 0.15);
+}
+
+// --- Theorem 1.5 direction: absolute adversary forces Ω(n/ρ). --------------
+
+TEST(Theorem15, SpreadScalesWithInverseRho) {
+  const NodeId n = 128;
+  RunnerOptions opt;
+  opt.trials = 6;
+  opt.time_limit = 1e7;
+
+  auto run_for = [&](double rho) {
+    const auto report = run_trials(
+        [n, rho](std::uint64_t seed) {
+          return std::make_unique<AbsoluteAdversaryNetwork>(n, rho, seed);
+        },
+        opt);
+    EXPECT_EQ(report.completed, opt.trials) << "rho=" << rho;
+    return report.spread_time.mean();
+  };
+
+  const double fast = run_for(0.5);   // Δ = 4
+  const double slow = run_for(0.1);   // Δ = 10
+  // Θ(n/ρ): a 5x smaller rho must slow the spread markedly.
+  EXPECT_GT(slow, 1.2 * fast);
+  // Absolute scale: at least a constant fraction of n/ρ.
+  EXPECT_GT(slow, 0.02 * n / 0.1);
+}
+
+// --- Theorem 1.2 direction: the diligent adversary slows the H-graph. ------
+
+TEST(Theorem12, AdversaryIsSlowerThanFrozenH) {
+  const NodeId n = 256;
+  const double rho = 0.25;
+  RunnerOptions opt;
+  opt.trials = 6;
+  opt.time_limit = 1e7;
+
+  const auto adaptive = run_trials(
+      [n, rho](std::uint64_t seed) {
+        return std::make_unique<DiligentAdversaryNetwork>(n, rho, 2, seed);
+      },
+      opt);
+  ASSERT_EQ(adaptive.completed, opt.trials);
+
+  // Frozen variant: expose G(0) forever (static H graph).
+  const auto frozen = run_trials(
+      [n, rho](std::uint64_t seed) {
+        DiligentAdversaryNetwork proto(n, rho, 2, seed);
+        // Copy the initial graph into a static network with the same source.
+        auto net = std::make_unique<StaticNetwork>(proto.current_graph(), "frozen-H");
+        return net;
+      },
+      opt);
+  ASSERT_EQ(frozen.completed, opt.trials);
+
+  EXPECT_GT(adaptive.spread_time.mean(), frozen.spread_time.mean());
+  // And the adversary respects its own lower bound direction n/(4kΔ):
+  DiligentAdversaryNetwork probe(n, rho, 2, 1);
+  EXPECT_GT(adaptive.spread_time.mean(), 0.5 * probe.spread_time_lower_bound());
+}
+
+// --- Remark 1.4 direction: connected dynamic networks finish in O(n²). -----
+
+TEST(Remark14, AbsoluteAdversaryWithinTwoNSquared) {
+  const NodeId n = 128;
+  RunnerOptions opt;
+  opt.trials = 4;
+  opt.time_limit = 4.0 * n * n;
+  const auto report = run_trials(
+      [n](std::uint64_t seed) {
+        return std::make_unique<AbsoluteAdversaryNetwork>(n, 10.0 / n, seed);
+      },
+      opt);
+  EXPECT_EQ(report.completed, opt.trials);
+  // Theorem 1.3 with ρ̄ = 1/(Δ+1), Δ ≈ n/10: T_abs = 2n(Δ+1) ≈ n²/5 + 2n.
+  EXPECT_LT(report.spread_time.max(), 2.0 * n * n);
+}
+
+// --- Giakkoupis et al. relation holds for STATIC graphs (contrast). --------
+
+TEST(StaticContrast, AsyncWithinSyncPlusLogOnStaticGraphs) {
+  // Ta(G) = O(Ts(G) + log n) for static G [16]; sanity-check the direction on
+  // a static clique and a static expander (constants are generous).
+  for (int which = 0; which < 2; ++which) {
+    Graph g;
+    if (which == 0) {
+      g = make_clique(128);
+    } else {
+      Rng rng(3);
+      g = random_connected_regular(rng, 128, 4);
+    }
+    RunnerOptions opt;
+    opt.trials = 8;
+    opt.engine = EngineKind::async_jump;
+    const auto a = run_trials(
+        [&g](std::uint64_t) { return std::make_unique<StaticNetwork>(g); }, opt);
+    opt.engine = EngineKind::sync_rounds;
+    const auto s = run_trials(
+        [&g](std::uint64_t) { return std::make_unique<StaticNetwork>(g); }, opt);
+    ASSERT_EQ(a.completed, opt.trials);
+    ASSERT_EQ(s.completed, opt.trials);
+    EXPECT_LT(a.spread_time.mean(), 4.0 * (s.spread_time.mean() + std::log(128.0)));
+  }
+}
+
+}  // namespace
+}  // namespace rumor
