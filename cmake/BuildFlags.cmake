@@ -1,0 +1,22 @@
+# Warning and sanitizer hygiene, collected on one interface target so every
+# binary in the tree (library, tests, benches, examples) inherits the same
+# flags without repeating lists.
+add_library(rumor_build_flags INTERFACE)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(rumor_build_flags INTERFACE
+    -Wall -Wextra -Wpedantic -Wshadow -Wconversion -Wsign-conversion)
+  if(RUMOR_WERROR)
+    target_compile_options(rumor_build_flags INTERFACE -Werror)
+  endif()
+endif()
+
+# Optional sanitizers: -DSANITIZE=address,undefined (or thread, leak, ...).
+set(SANITIZE "" CACHE STRING "Comma-separated sanitizers to enable (e.g. address,undefined)")
+if(SANITIZE)
+  string(REPLACE "," ";" _san_list "${SANITIZE}")
+  foreach(_san IN LISTS _san_list)
+    target_compile_options(rumor_build_flags INTERFACE -fsanitize=${_san} -fno-omit-frame-pointer)
+    target_link_options(rumor_build_flags INTERFACE -fsanitize=${_san})
+  endforeach()
+endif()

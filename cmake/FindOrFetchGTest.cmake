@@ -1,0 +1,20 @@
+# GoogleTest discovery: system package first, then the Debian source tree in
+# /usr/src, then a pinned FetchContent download as the last resort (the only
+# option that needs network access). Defines GTest::gtest_main either way.
+find_package(GTest QUIET)
+if(NOT GTest_FOUND)
+  if(EXISTS /usr/src/googletest/CMakeLists.txt)
+    add_subdirectory(/usr/src/googletest ${CMAKE_BINARY_DIR}/_deps/googletest EXCLUDE_FROM_ALL)
+  else()
+    include(FetchContent)
+    FetchContent_Declare(googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.zip
+      URL_HASH SHA256=1f357c27ca988c3f7c6b4bf68a9395005ac6761f034046e9dde0896e3aba00e4)
+    set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(googletest)
+  endif()
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Header audit: every header under src/ (and bench/common) must compile
+# standalone, and every src/*.cpp must have a matching .h next to it
+# (engine/test-only entry points excepted by listing them here).
+#
+# Usage: scripts/audit_headers.sh  (from the repo root; exits non-zero on any
+# violation and prints the offending files).
+set -u
+cd "$(dirname "$0")/.."
+
+status=0
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# 1. Standalone compilation of every header.
+for h in $(find src -name '*.h' | sort) bench/common/bench_util.h; do
+  case "$h" in
+    src/*)          inc="${h#src/}";   flags="-Isrc" ;;
+    bench/common/*) inc="${h#bench/}"; flags="-Isrc -Ibench" ;;
+  esac
+  echo "#include \"$inc\"" > "$tmp/probe.cpp"
+  if ! g++ -std=c++20 $flags -fsyntax-only -Wall -Wextra "$tmp/probe.cpp" 2> "$tmp/err"; then
+    echo "NOT SELF-CONTAINED: $h"
+    sed 's/^/    /' "$tmp/err" | head -5
+    status=1
+  fi
+done
+
+# 2. Every src/*.cpp has a corresponding header.
+for c in $(find src -name '*.cpp' | sort); do
+  if [ ! -f "${c%.cpp}.h" ]; then
+    echo "NO HEADER: $c"
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "header audit: OK"
+fi
+exit $status

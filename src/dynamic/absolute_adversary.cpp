@@ -45,8 +45,10 @@ void AbsoluteAdversaryNetwork::rebuild(const InformedView* informed) {
 
   std::vector<Edge> edges;
   edges.reserve(static_cast<std::size_t>(a_graph.edge_count() + b_graph.edge_count() + 1));
-  for (const Edge& e : a_graph.edges()) edges.push_back({a_side_[e.u], a_side_[e.v]});
-  for (const Edge& e : b_graph.edges()) edges.push_back({b_side_[e.u], b_side_[e.v]});
+  for (const Edge& e : a_graph.edges())
+    edges.push_back({a_side_[static_cast<std::size_t>(e.u)], a_side_[static_cast<std::size_t>(e.v)]});
+  for (const Edge& e : b_graph.edges())
+    edges.push_back({b_side_[static_cast<std::size_t>(e.u)], b_side_[static_cast<std::size_t>(e.v)]});
   hub_ = a_side_.front();
   boundary_ = b_side_.front();
   edges.push_back({hub_, boundary_});

@@ -45,11 +45,12 @@ void MobileGeometricNetwork::rebuild() {
   // Cell grid of side >= radius: only neighbouring cells can hold neighbours.
   const int cells = std::max(1, static_cast<int>(std::floor(1.0 / radius_)));
   const double cell_size = 1.0 / cells;
-  std::vector<std::vector<NodeId>> grid(static_cast<std::size_t>(cells) * cells);
+  const auto cells_sz = static_cast<std::size_t>(cells);
+  std::vector<std::vector<NodeId>> grid(cells_sz * cells_sz);
   auto cell_of = [&](NodeId u) {
     const int cx = std::min(cells - 1, static_cast<int>(x_[static_cast<std::size_t>(u)] / cell_size));
     const int cy = std::min(cells - 1, static_cast<int>(y_[static_cast<std::size_t>(u)] / cell_size));
-    return static_cast<std::size_t>(cy) * cells + static_cast<std::size_t>(cx);
+    return static_cast<std::size_t>(cy) * cells_sz + static_cast<std::size_t>(cx);
   };
   for (NodeId u = 0; u < n_; ++u) grid[cell_of(u)].push_back(u);
 
@@ -57,12 +58,12 @@ void MobileGeometricNetwork::rebuild() {
   const double r2 = radius_ * radius_;
   for (int cy = 0; cy < cells; ++cy) {
     for (int cx = 0; cx < cells; ++cx) {
-      const auto& here = grid[static_cast<std::size_t>(cy) * cells + cx];
+      const auto& here = grid[static_cast<std::size_t>(cy) * cells_sz + static_cast<std::size_t>(cx)];
       for (int dy = -1; dy <= 1; ++dy) {
         for (int dx = -1; dx <= 1; ++dx) {
           const int ox = ((cx + dx) % cells + cells) % cells;
           const int oy = ((cy + dy) % cells + cells) % cells;
-          const auto& there = grid[static_cast<std::size_t>(oy) * cells + ox];
+          const auto& there = grid[static_cast<std::size_t>(oy) * cells_sz + static_cast<std::size_t>(ox)];
           for (NodeId u : here) {
             for (NodeId v : there) {
               if (u >= v) continue;

@@ -10,7 +10,7 @@ namespace rumor {
 Graph make_clique(NodeId n) {
   DG_REQUIRE(n >= 1, "clique needs at least one node");
   std::vector<Edge> edges;
-  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  edges.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n - 1) / 2);
   for (NodeId u = 0; u < n; ++u)
     for (NodeId v = u + 1; v < n; ++v) edges.push_back({u, v});
   return Graph(n, std::move(edges));

@@ -16,6 +16,7 @@
 #pragma once
 
 #include "graph/graph.h"
+#include "graph/sweep_cuts.h"
 
 namespace rumor {
 
@@ -39,11 +40,7 @@ std::int64_t cut_size(const Graph& g, const std::vector<bool>& in_s);
 // vol(S) for a membership indicator.
 std::int64_t subset_volume(const Graph& g, const std::vector<bool>& in_s);
 
-// Sweep-cut upper bound: evaluates Φ over every prefix of several vertex
-// orderings (BFS from extremal-degree nodes, degree-sorted) and returns the
-// best ratio found. Since Φ is a minimum over all cuts, any candidate yields
-// a valid upper bound; on many families (cycles, cliques, stars, bridged
-// cliques) a sweep prefix is the exact minimizer. O(orderings · m).
-double conductance_upper_bound_sweep(const Graph& g);
+// conductance_upper_bound_sweep (the sweep-cut upper bound on Φ) is declared
+// in graph/sweep_cuts.h, included above.
 
 }  // namespace rumor

@@ -12,15 +12,15 @@ std::vector<int> component_labels(const Graph& g) {
   int next = 0;
   std::vector<NodeId> stack;
   for (NodeId s = 0; s < n; ++s) {
-    if (label[s] != -1) continue;
-    label[s] = next;
+    if (label[static_cast<std::size_t>(s)] != -1) continue;
+    label[static_cast<std::size_t>(s)] = next;
     stack.push_back(s);
     while (!stack.empty()) {
       const NodeId u = stack.back();
       stack.pop_back();
       for (NodeId v : g.neighbors(u)) {
-        if (label[v] == -1) {
-          label[v] = next;
+        if (label[static_cast<std::size_t>(v)] == -1) {
+          label[static_cast<std::size_t>(v)] = next;
           stack.push_back(v);
         }
       }

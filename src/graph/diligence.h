@@ -14,6 +14,7 @@
 #pragma once
 
 #include "graph/graph.h"
+#include "graph/sweep_cuts.h"
 
 namespace rumor {
 
@@ -31,10 +32,8 @@ double absolute_diligence(const Graph& g);
 // and every crossing-edge endpoint degree is ≤ Δ_max); 0 if disconnected.
 double diligence_lower_bound(const Graph& g);
 
-// Sweep-cut upper bound on ρ(G): evaluates ρ(S) over selected prefixes of
-// several vertex orderings (ρ is a min over cuts with vol(S) <= vol(G)/2, so
-// any admissible candidate upper-bounds it). Pairs with diligence_lower_bound
-// to bracket ρ at sizes where exact enumeration is infeasible.
-double diligence_upper_bound_sweep(const Graph& g);
+// diligence_upper_bound_sweep (the sweep-cut upper bound on ρ, pairing with
+// diligence_lower_bound to bracket ρ at sizes where exact enumeration is
+// infeasible) is declared in graph/sweep_cuts.h, included above.
 
 }  // namespace rumor

@@ -13,7 +13,7 @@ Graph make_hypercube(int dims) {
   DG_REQUIRE(dims >= 1 && dims <= 20, "dims must lie in [1, 20]");
   const NodeId n = static_cast<NodeId>(1) << dims;
   std::vector<Edge> edges;
-  edges.reserve(static_cast<std::size_t>(n) * dims / 2);
+  edges.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(dims) / 2);
   for (NodeId u = 0; u < n; ++u) {
     for (int b = 0; b < dims; ++b) {
       const NodeId v = u ^ (static_cast<NodeId>(1) << b);

@@ -31,16 +31,18 @@ Graph::Graph(NodeId n, std::vector<Edge> edges)
     ++offsets_[static_cast<std::size_t>(e.u) + 1];
     ++offsets_[static_cast<std::size_t>(e.v) + 1];
   }
-  for (NodeId u = 0; u < n; ++u) offsets_[static_cast<std::size_t>(u) + 1] += offsets_[u];
+  for (NodeId u = 0; u < n; ++u)
+    offsets_[static_cast<std::size_t>(u) + 1] += offsets_[static_cast<std::size_t>(u)];
 
   adjacency_.resize(edges_.size() * 2);
   std::vector<std::int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
   for (const auto& e : edges_) {
-    adjacency_[static_cast<std::size_t>(cursor[e.u]++)] = e.v;
-    adjacency_[static_cast<std::size_t>(cursor[e.v]++)] = e.u;
+    adjacency_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.u)]++)] = e.v;
+    adjacency_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.v)]++)] = e.u;
   }
   for (NodeId u = 0; u < n; ++u) {
-    std::sort(adjacency_.begin() + offsets_[u], adjacency_.begin() + offsets_[u + 1]);
+    std::sort(adjacency_.begin() + offsets_[static_cast<std::size_t>(u)],
+              adjacency_.begin() + offsets_[static_cast<std::size_t>(u) + 1]);
   }
 
   if (n > 0) {
@@ -54,13 +56,15 @@ Graph::Graph(NodeId n, std::vector<Edge> edges)
 
 NodeId Graph::degree(NodeId u) const {
   DG_REQUIRE(u >= 0 && u < n_, "node out of range");
-  return static_cast<NodeId>(offsets_[static_cast<std::size_t>(u) + 1] - offsets_[u]);
+  return static_cast<NodeId>(offsets_[static_cast<std::size_t>(u) + 1] -
+                             offsets_[static_cast<std::size_t>(u)]);
 }
 
 std::span<const NodeId> Graph::neighbors(NodeId u) const {
   DG_REQUIRE(u >= 0 && u < n_, "node out of range");
-  return {adjacency_.data() + offsets_[u],
-          static_cast<std::size_t>(offsets_[static_cast<std::size_t>(u) + 1] - offsets_[u])};
+  return {adjacency_.data() + offsets_[static_cast<std::size_t>(u)],
+          static_cast<std::size_t>(offsets_[static_cast<std::size_t>(u) + 1] -
+                                   offsets_[static_cast<std::size_t>(u)])};
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {

@@ -40,7 +40,9 @@ HkGraph build_hk_graph(Rng& rng, NodeId n_total, const std::vector<NodeId>& a_si
   auto add_expander = [&](const std::vector<NodeId>& members) {
     const auto m = static_cast<NodeId>(members.size());
     Graph ex = random_regular(rng, m, 4);
-    for (const Edge& e : ex.edges()) edges.push_back({members[e.u], members[e.v]});
+    for (const Edge& e : ex.edges())
+      edges.push_back({members[static_cast<std::size_t>(e.u)],
+                       members[static_cast<std::size_t>(e.v)]});
   };
   add_expander(out.expander_a);
   add_expander(out.expander_b);

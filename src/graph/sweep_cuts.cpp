@@ -1,11 +1,5 @@
-// Sweep-cut upper bounds for conductance and diligence.
-//
-// Both parameters are minima over cuts, so evaluating them on any family of
-// candidate cuts yields upper bounds. The candidates here are the prefixes of
-// a few natural vertex orderings: breadth-first search from the minimum- and
-// maximum-degree nodes (captures "ball" cuts — cycle arcs, cluster layers of
-// H_{k,Δ}, the cliques of bridged graphs) and degree-sorted order (captures
-// "all the leaves" cuts of stars and hubs).
+#include "graph/sweep_cuts.h"
+
 #include <algorithm>
 #include <limits>
 #include <numeric>

@@ -1,0 +1,27 @@
+// Sweep-cut upper bounds for the cut parameters (conductance Φ, diligence ρ).
+//
+// Both parameters are minima over cuts, so evaluating them on any family of
+// candidate cuts yields valid upper bounds. The candidates are the prefixes of
+// a few natural vertex orderings: BFS from the minimum- and maximum-degree
+// nodes (captures "ball" cuts — cycle arcs, cluster layers of H_{k,Δ}, the
+// cliques of bridged graphs) and degree-sorted order (captures "all the
+// leaves" cuts of stars and hubs). On many families a sweep prefix is the
+// exact minimizer. O(orderings · m) for Φ, O(orderings · log n · m) for ρ.
+//
+// These declarations are re-exported by conductance.h and diligence.h, next
+// to the exact and spectral computations they bracket.
+#pragma once
+
+#include "graph/graph.h"
+
+namespace rumor {
+
+// Best Φ(S) over every prefix of each candidate ordering.
+double conductance_upper_bound_sweep(const Graph& g);
+
+// Best ρ(S) over admissible prefixes (power-of-two sizes plus the largest
+// prefix with vol(S) <= vol(G)/2); falls back to the trivial bound 1 when the
+// half-volume constraint excludes every candidate (e.g. a star's centre).
+double diligence_upper_bound_sweep(const Graph& g);
+
+}  // namespace rumor

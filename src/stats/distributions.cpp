@@ -70,7 +70,7 @@ std::int64_t sample_binomial(Rng& rng, std::int64_t n, double p) {
   if (n == 0 || p == 0.0) return 0;
   if (p == 1.0) return n;
   if (p > 0.5) return n - sample_binomial(rng, n, 1.0 - p);
-  if (n * p < 30.0) {
+  if (static_cast<double>(n) * p < 30.0) {
     // Waiting-time method: skip geometric gaps between successes.
     std::int64_t count = 0;
     std::int64_t pos = -1;

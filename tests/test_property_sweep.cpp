@@ -124,7 +124,7 @@ TEST_P(PropertySweep, UniversalInvariantsHold) {
 
   auto net = fam.factory(1234);
   const NodeId n = net->node_count();
-  Rng rng(987654321ULL + static_cast<std::uint64_t>(combo.family_index));
+  Rng rng(std::uint64_t{987654321} + static_cast<std::uint64_t>(combo.family_index));
 
   SpreadResult result;
   if (combo.engine == EngineKind::sync_rounds) {

@@ -130,6 +130,25 @@ TEST(EngineKindNames, AllDistinct) {
 }
 
 
+// Bitwise equality of every aggregated field, in trial order: the runner
+// promises results identical to the serial run for the same seed.
+void expect_reports_identical(const RunnerReport& a, const RunnerReport& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.completed, b.completed);
+  const std::pair<const SampleSet*, const SampleSet*> sets[] = {
+      {&a.spread_time, &b.spread_time},
+      {&a.informative_contacts, &b.informative_contacts},
+      {&a.theorem11_crossing, &b.theorem11_crossing},
+      {&a.theorem13_crossing, &b.theorem13_crossing},
+  };
+  for (const auto& [sa, sb] : sets) {
+    ASSERT_EQ(sa->count(), sb->count());
+    for (std::size_t i = 0; i < sa->count(); ++i) {
+      EXPECT_DOUBLE_EQ(sa->values()[i], sb->values()[i]);
+    }
+  }
+}
+
 TEST(Runner, ParallelMatchesSerial) {
   RunnerOptions opt;
   opt.trials = 8;
@@ -137,10 +156,33 @@ TEST(Runner, ParallelMatchesSerial) {
   const auto serial = run_trials(clique_factory(24), opt);
   opt.threads = 4;
   const auto parallel = run_trials(clique_factory(24), opt);
-  ASSERT_EQ(serial.spread_time.count(), parallel.spread_time.count());
-  for (std::size_t i = 0; i < serial.spread_time.count(); ++i) {
-    EXPECT_DOUBLE_EQ(serial.spread_time.values()[i], parallel.spread_time.values()[i]);
-  }
+  expect_reports_identical(serial, parallel);
+}
+
+TEST(Runner, ParallelMatchesSerialWithBoundTracking) {
+  // The adaptive dynamic star exercises the per-trial network factory, the
+  // bound tracker, and the post-completion continuation under threading.
+  RunnerOptions opt;
+  opt.trials = 8;
+  opt.seed = 7;
+  opt.track_bounds = true;
+  const auto factory = [](std::uint64_t seed) {
+    return std::make_unique<DynamicStarNetwork>(16, seed);
+  };
+  const auto serial = run_trials(factory, opt);
+  opt.threads = 4;
+  const auto parallel = run_trials(factory, opt);
+  expect_reports_identical(serial, parallel);
+}
+
+TEST(Runner, MoreThreadsThanTrials) {
+  RunnerOptions opt;
+  opt.trials = 3;
+  opt.seed = 5;
+  const auto serial = run_trials(clique_factory(12), opt);
+  opt.threads = 8;
+  const auto parallel = run_trials(clique_factory(12), opt);
+  expect_reports_identical(serial, parallel);
 }
 
 TEST(Runner, ParallelWithBoundTracking) {
