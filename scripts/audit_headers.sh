@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Header audit: every header under src/ (and bench/common) must compile
-# standalone, and every src/*.cpp must have a matching .h next to it
-# (engine/test-only entry points excepted by listing them here).
+# standalone, every src/*.cpp must have a matching .h next to it
+# (engine/test-only entry points excepted by listing them here), and every
+# public header plus every tools/ entry point must open with a documentation
+# comment block.
 #
 # Usage: scripts/audit_headers.sh  (from the repo root; exits non-zero on any
 # violation and prints the offending files).
@@ -32,6 +34,20 @@ for c in $(find src -name '*.cpp' | sort); do
     echo "NO HEADER: $c"
     status=1
   fi
+done
+
+# 3. Every public header (src/, bench/common) and every driver entry point
+# (tools/*.cpp) must start with a documentation comment: the first line is a
+# '//' or '/*' comment describing the module.
+for f in $(find src bench/common -name '*.h' | sort) $(find tools -name '*.cpp' | sort); do
+  first=$(head -1 "$f")
+  case "$first" in
+    //*|/\**) ;;
+    *)
+      echo "UNDOCUMENTED: $f (first line must be a comment block)"
+      status=1
+      ;;
+  esac
 done
 
 if [ "$status" -eq 0 ]; then

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Markdown link check: every relative link [text](path) in the tracked
+# markdown files must point at an existing file or directory (anchors and
+# line-number suffixes are stripped; external http(s)/mailto links are
+# skipped). The docs CI job runs this plus a `rumor_cli list` smoke test.
+#
+# Usage: scripts/check_docs_links.sh  (from anywhere; exits non-zero and
+# prints file:link for every broken reference).
+set -u
+cd "$(dirname "$0")/.."
+
+status=0
+files=$(find . -name '*.md' -not -path './build*' -not -path './.git/*' | sort)
+
+for f in $files; do
+  dir=$(dirname "$f")
+  # Pull out all (...) targets of markdown links; tolerate several per line.
+  links=$(grep -o '\[[^]]*\]([^)]*)' "$f" | sed 's/.*(\(.*\))/\1/') || continue
+  while IFS= read -r link; do
+    [ -z "$link" ] && continue
+    case "$link" in
+      http://*|https://*|mailto:*) continue ;;
+      \#*) continue ;;  # same-file anchor
+    esac
+    target=${link%%#*}          # strip anchors
+    target=${target%%:[0-9]*}   # strip :line suffixes
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "BROKEN LINK: $f -> $link"
+      status=1
+    fi
+  done <<< "$links"
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "docs link check: OK"
+fi
+exit $status

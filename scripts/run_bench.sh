@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Records a perf snapshot of the standard scenario x engine grid as JSON
+# lines via `rumor_cli sweep --json` (per-trial records + one summary record
+# per grid cell, each summary carrying the full reproducibility manifest and
+# wall-clock elapsed_seconds).
+#
+# Usage: scripts/run_bench.sh [OUTPUT.json]   (default BENCH_2.json)
+#   BUILD_DIR=build-release scripts/run_bench.sh   # alternate build tree
+#
+# Successive snapshots (BENCH_2.json, BENCH_3.json, ...) are how scale/speed
+# PRs demonstrate their wins: diff the elapsed_seconds of matching manifests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${1:-BENCH_2.json}
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" --target rumor_cli -j"$(nproc)"
+
+"$BUILD_DIR/tools/rumor_cli" sweep \
+  --scenarios static_clique,static_expander,dynamic_star,clique_bridge,edge_markovian,mobile_geometric \
+  --engines async_jump,async_tick,sync \
+  --sweep n=128,256 \
+  --trials 10 --seed 1 --threads 1 \
+  --json > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"record":"summary"' "$OUT") summary records)" >&2

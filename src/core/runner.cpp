@@ -46,6 +46,7 @@ SpreadResult run_one_trial(const NetworkFactory& factory, const RunnerOptions& o
       async.clock_rate = options.clock_rate;
       async.time_limit = options.time_limit;
       async.bound_tracker = tracker.get();
+      async.transmission_failure_prob = options.transmission_failure_prob;
       result = options.engine == EngineKind::async_jump
                    ? run_async_jump(*net, source, rng, async)
                    : run_async_tick(*net, source, rng, async);
@@ -56,6 +57,7 @@ SpreadResult run_one_trial(const NetworkFactory& factory, const RunnerOptions& o
       sync.protocol = options.protocol;
       sync.round_limit = options.round_limit;
       sync.bound_tracker = tracker.get();
+      sync.transmission_failure_prob = options.transmission_failure_prob;
       result = run_sync(*net, source, rng, sync);
       break;
     }
@@ -143,6 +145,7 @@ RunnerReport run_trials(const NetworkFactory& factory, const RunnerOptions& opti
     if (result.theorem13_crossing >= 0)
       report.theorem13_crossing.add(static_cast<double>(result.theorem13_crossing));
   }
+  if (options.keep_per_trial) report.per_trial = std::move(results);
   return report;
 }
 

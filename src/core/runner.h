@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/async_engine.h"
 #include "core/sync_engine.h"
@@ -44,6 +45,17 @@ struct RunnerOptions {
   // run for the same seed: each trial derives its own seeds and network from
   // the factory, and samples are aggregated in trial order.
   int threads = 1;
+
+  // Passed through to the engines: every contact independently fails to
+  // transmit with this probability (the lossy-links robustness setting).
+  // Ignored by the flooding baseline, which has no randomized contacts.
+  double transmission_failure_prob = 0.0;
+
+  // Retain every trial's full SpreadResult in RunnerReport::per_trial (in
+  // trial order), so drivers can stream per-trial records (JSON lines, CSV)
+  // instead of only aggregates. Off by default: the flags/trace vectors make
+  // a SpreadResult O(n) in memory.
+  bool keep_per_trial = false;
 };
 
 struct RunnerReport {
@@ -53,6 +65,10 @@ struct RunnerReport {
   SampleSet theorem13_crossing;
   int trials = 0;
   int completed = 0;
+
+  // Full per-trial results in trial order; filled iff
+  // RunnerOptions::keep_per_trial was set.
+  std::vector<SpreadResult> per_trial;
 
   double completion_rate() const {
     return trials == 0 ? 0.0 : static_cast<double>(completed) / trials;

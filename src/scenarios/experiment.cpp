@@ -1,0 +1,192 @@
+#include "scenarios/experiment.h"
+
+#include <ostream>
+
+#include "support/contracts.h"
+#include "support/json.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace rumor {
+
+namespace {
+
+std::string canonical(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '-') c = '_';
+  }
+  return out;
+}
+
+// Aggregate statistics of one SampleSet as a JSON object (null when empty so
+// consumers need no sentinel conventions).
+void write_sample_stats(JsonWriter& json, const std::string& key, const SampleSet& s) {
+  json.key(key);
+  if (s.empty()) {
+    json.null();
+    return;
+  }
+  json.begin_object()
+      .field("count", static_cast<std::int64_t>(s.count()))
+      .field("mean", s.mean())
+      .field("stddev", s.stddev())
+      .field("min", s.min())
+      .field("median", s.median())
+      .field("max", s.max())
+      .end_object();
+}
+
+}  // namespace
+
+EngineKind parse_engine(const std::string& name) {
+  const std::string c = canonical(name);
+  if (c == "async_jump") return EngineKind::async_jump;
+  if (c == "async_tick") return EngineKind::async_tick;
+  if (c == "sync" || c == "sync_rounds") return EngineKind::sync_rounds;
+  if (c == "flooding") return EngineKind::flooding;
+  DG_REQUIRE(false, "unknown engine '" + name +
+                        "' (known: async_jump, async_tick, sync, flooding)");
+  return EngineKind::async_jump;
+}
+
+Protocol parse_protocol(const std::string& name) {
+  const std::string c = canonical(name);
+  if (c == "push") return Protocol::push;
+  if (c == "pull") return Protocol::pull;
+  if (c == "push_pull") return Protocol::push_pull;
+  DG_REQUIRE(false, "unknown protocol '" + name + "' (known: push, pull, push_pull)");
+  return Protocol::push_pull;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  const ScenarioSpec& spec = require_scenario(config.scenario);
+  const ScenarioParams params = ScenarioParams::resolve(spec, config.param_overrides);
+
+  ExperimentResult result;
+  result.spec = &spec;
+  result.params = params.items();
+  result.runner = config.runner;
+
+  const NetworkFactory factory = spec.make_factory(params);
+  Timer timer;
+  result.report = run_trials(factory, result.runner);
+  result.elapsed_seconds = timer.seconds();
+  return result;
+}
+
+void write_manifest(JsonWriter& json, const ExperimentResult& result,
+                    const std::string& build_info) {
+  const RunnerOptions& opt = result.runner;
+  json.begin_object();
+  json.field("scenario", result.spec->name);
+  json.key("params").begin_object();
+  for (const auto& [name, value] : result.params) json.field(name, value);
+  json.end_object();
+  json.field("engine", to_string(opt.engine));
+  json.field("protocol", to_string(opt.protocol));
+  json.field("trials", opt.trials);
+  json.field("seed", opt.seed);
+  json.field("threads", opt.threads);
+  json.field("clock_rate", opt.clock_rate);
+  json.field("time_limit", opt.time_limit);
+  json.field("round_limit", opt.round_limit);
+  json.field("track_bounds", opt.track_bounds);
+  json.field("bound_c", opt.bound_c);
+  json.field("transmission_failure_prob", opt.transmission_failure_prob);
+  json.field("source", static_cast<std::int64_t>(opt.source));
+  json.field("build", build_info);
+  json.end_object();
+}
+
+void emit_json(std::ostream& os, const ExperimentResult& result,
+               const std::string& build_info) {
+  for (std::size_t i = 0; i < result.report.per_trial.size(); ++i) {
+    const SpreadResult& t = result.report.per_trial[i];
+    JsonWriter json(os);
+    json.begin_object()
+        .field("record", "trial")
+        .field("scenario", result.spec->name)
+        .field("trial", static_cast<std::int64_t>(i))
+        .field("completed", t.completed)
+        .field("spread_time", t.spread_time)
+        .field("informed_count", t.informed_count)
+        .field("informative_contacts", t.informative_contacts)
+        .field("total_contacts", t.total_contacts)
+        .field("graph_changes", t.graph_changes)
+        .field("theorem11_crossing", t.theorem11_crossing)
+        .field("theorem13_crossing", t.theorem13_crossing)
+        .end_object();
+    os << '\n';
+  }
+
+  JsonWriter json(os);
+  json.begin_object().field("record", "summary");
+  json.key("manifest");
+  write_manifest(json, result, build_info);
+  json.field("completed", result.report.completed);
+  json.field("completion_rate", result.report.completion_rate());
+  write_sample_stats(json, "spread_time", result.report.spread_time);
+  write_sample_stats(json, "informative_contacts", result.report.informative_contacts);
+  write_sample_stats(json, "theorem11_crossing", result.report.theorem11_crossing);
+  write_sample_stats(json, "theorem13_crossing", result.report.theorem13_crossing);
+  json.field("elapsed_seconds", result.elapsed_seconds);
+  json.end_object();
+  os << '\n';
+}
+
+void emit_csv_header(std::ostream& os) {
+  os << "scenario,params,engine,protocol,seed,trial,completed,spread_time,"
+        "informative_contacts,total_contacts,graph_changes,"
+        "theorem11_crossing,theorem13_crossing\n";
+}
+
+void emit_csv(std::ostream& os, const ExperimentResult& result) {
+  // Resolved parameters as one semicolon-joined cell (comma-free by
+  // construction), so sweep rows from different grid cells stay
+  // distinguishable.
+  std::string params;
+  for (const auto& [name, value] : result.params) {
+    if (!params.empty()) params += ';';
+    params += name + "=" + value;
+  }
+  for (std::size_t i = 0; i < result.report.per_trial.size(); ++i) {
+    const SpreadResult& t = result.report.per_trial[i];
+    os << result.spec->name << ',' << params << ',' << to_string(result.runner.engine) << ','
+       << to_string(result.runner.protocol) << ',' << result.runner.seed << ',' << i << ','
+       << (t.completed ? 1 : 0) << ',' << json_number(t.spread_time) << ','
+       << t.informative_contacts << ',' << t.total_contacts << ',' << t.graph_changes << ','
+       << t.theorem11_crossing << ',' << t.theorem13_crossing << '\n';
+  }
+}
+
+void emit_text(std::ostream& os, const ExperimentResult& result) {
+  os << "scenario  " << result.spec->name << "  (" << result.spec->paper_anchor << ")\n";
+  os << "params    ";
+  for (std::size_t i = 0; i < result.params.size(); ++i) {
+    if (i > 0) os << "  ";
+    os << result.params[i].first << "=" << result.params[i].second;
+  }
+  os << "\nengine    " << to_string(result.runner.engine) << "  protocol "
+     << to_string(result.runner.protocol) << "  trials " << result.runner.trials << "  seed "
+     << result.runner.seed << "  threads " << result.runner.threads << "\n\n";
+
+  Table table({"metric", "count", "mean", "stddev", "min", "median", "max"});
+  const std::pair<const char*, const SampleSet*> rows[] = {
+      {"spread_time", &result.report.spread_time},
+      {"informative_contacts", &result.report.informative_contacts},
+      {"theorem11_crossing", &result.report.theorem11_crossing},
+      {"theorem13_crossing", &result.report.theorem13_crossing},
+  };
+  for (const auto& [label, set] : rows) {
+    if (set->empty()) continue;
+    table.add_row({label, Table::cell(set->count()), Table::cell(set->mean()),
+                   Table::cell(set->stddev()), Table::cell(set->min()),
+                   Table::cell(set->median()), Table::cell(set->max())});
+  }
+  table.print(os);
+  os << "\ncompleted " << result.report.completed << "/" << result.report.trials << " in "
+     << json_number(result.elapsed_seconds) << "s\n";
+}
+
+}  // namespace rumor

@@ -1,0 +1,109 @@
+#include "scenarios/scenario.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "support/contracts.h"
+#include "support/json.h"
+
+namespace rumor {
+
+std::string to_string(ParamKind k) {
+  switch (k) {
+    case ParamKind::integer:
+      return "int";
+    case ParamKind::real:
+      return "real";
+    case ParamKind::flag:
+      return "flag";
+  }
+  return "?";
+}
+
+std::string format_param_value(ParamKind kind, double value) {
+  switch (kind) {
+    case ParamKind::integer:
+      return std::to_string(static_cast<std::int64_t>(value));
+    case ParamKind::real:
+      return json_number(value);
+    case ParamKind::flag:
+      return value != 0.0 ? "true" : "false";
+  }
+  return "?";
+}
+
+const ParamSpec* ScenarioSpec::find_param(const std::string& param_name) const {
+  for (const ParamSpec& p : params) {
+    if (p.name == param_name) return &p;
+  }
+  return nullptr;
+}
+
+namespace {
+
+double parse_override(const ParamSpec& spec, const std::string& text) {
+  switch (spec.kind) {
+    case ParamKind::flag: {
+      if (text == "true" || text == "1" || text == "yes") return 1.0;
+      if (text == "false" || text == "0" || text == "no") return 0.0;
+      DG_REQUIRE(false, "parameter '" + spec.name + "' expects a flag, got '" + text + "'");
+      return 0.0;
+    }
+    case ParamKind::integer:
+    case ParamKind::real: {
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str(), &end);
+      DG_REQUIRE(end != text.c_str() && *end == '\0' && std::isfinite(v),
+                 "parameter '" + spec.name + "' expects a number, got '" + text + "'");
+      if (spec.kind == ParamKind::integer) {
+        DG_REQUIRE(v == std::floor(v),
+                   "parameter '" + spec.name + "' expects an integer, got '" + text + "'");
+      }
+      return v;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ScenarioParams ScenarioParams::resolve(const ScenarioSpec& spec,
+                                       const std::map<std::string, std::string>& overrides) {
+  for (const auto& [name, text] : overrides) {
+    (void)text;
+    DG_REQUIRE(spec.find_param(name) != nullptr,
+               "scenario '" + spec.name + "' has no parameter '" + name + "'");
+  }
+
+  ScenarioParams out;
+  for (const ParamSpec& p : spec.params) {
+    double v = p.fallback;
+    auto it = overrides.find(p.name);
+    if (it != overrides.end()) {
+      v = parse_override(p, it->second);
+      DG_REQUIRE(v >= p.min_value && v <= p.max_value,
+                 "parameter '" + p.name + "' = " + it->second + " is outside [" +
+                     format_param_value(p.kind, p.min_value) + ", " +
+                     format_param_value(p.kind, p.max_value) + "]");
+    }
+    out.values_[p.name] = v;
+    out.items_.emplace_back(p.name, format_param_value(p.kind, v));
+  }
+  return out;
+}
+
+double ScenarioParams::raw(const std::string& name) const {
+  auto it = values_.find(name);
+  DG_REQUIRE(it != values_.end(), "unresolved scenario parameter '" + name + "'");
+  return it->second;
+}
+
+std::int64_t ScenarioParams::integer(const std::string& name) const {
+  return static_cast<std::int64_t>(raw(name));
+}
+
+double ScenarioParams::real(const std::string& name) const { return raw(name); }
+
+bool ScenarioParams::flag(const std::string& name) const { return raw(name) != 0.0; }
+
+}  // namespace rumor

@@ -23,6 +23,10 @@ class Cli {
 
   const std::string& program() const { return program_; }
 
+  // All parsed options, for drivers that forward unrecognized names (e.g.
+  // rumor_cli treating non-reserved options as scenario parameters).
+  const std::map<std::string, std::string>& entries() const { return values_; }
+
  private:
   std::string program_;
   std::map<std::string, std::string> values_;

@@ -1,0 +1,151 @@
+#include "support/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Shortest round-tripping decimal: try increasing precision until the
+  // parsed value matches exactly (17 significant digits always suffice).
+  char buf[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    DG_REQUIRE(stack_.back() == Scope::array, "object member needs a key() first");
+    if (has_items_.back()) os_ << ',';
+    has_items_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  stack_.push_back(Scope::object);
+  has_items_.push_back(false);
+  os_ << '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  DG_REQUIRE(!stack_.empty() && stack_.back() == Scope::object && !pending_key_,
+             "end_object outside an object");
+  stack_.pop_back();
+  has_items_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  stack_.push_back(Scope::array);
+  has_items_.push_back(false);
+  os_ << '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  DG_REQUIRE(!stack_.empty() && stack_.back() == Scope::array, "end_array outside an array");
+  stack_.pop_back();
+  has_items_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  DG_REQUIRE(!stack_.empty() && stack_.back() == Scope::object && !pending_key_,
+             "key() is only valid directly inside an object");
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  os_ << '"' << json_escape(name) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  os_ << json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+}  // namespace rumor

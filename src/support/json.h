@@ -1,0 +1,62 @@
+// Minimal streaming JSON writer for the experiment drivers' --json output.
+//
+// Emits one value tree to an ostream with correct escaping and separators;
+// doubles are printed with round-trip precision ("%.17g", trimmed) so JSON
+// records reproduce the computed statistics bit-for-bit, and non-finite
+// doubles degrade to null (JSON has no NaN/Inf). The writer checks nesting
+// with contracts rather than silently producing malformed output.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rumor {
+
+// Formats a double with the shortest representation that round-trips; used by
+// both the JSON and CSV emitters.
+std::string json_number(double v);
+
+// Escapes `s` per RFC 8259 (quotes, backslash, control characters).
+std::string json_escape(const std::string& s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Object key; must be followed by exactly one value (or container).
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  // key + value in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+ private:
+  enum class Scope { object, array };
+  void before_value();
+
+  std::ostream& os_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace rumor

@@ -196,6 +196,38 @@ TEST(Runner, ParallelWithBoundTracking) {
   EXPECT_EQ(report.theorem13_crossing.count(), 6u);
 }
 
+TEST(Runner, KeepPerTrialRetainsEveryResultInOrder) {
+  RunnerOptions opt;
+  opt.trials = 5;
+  opt.seed = 13;
+  opt.keep_per_trial = true;
+  const auto report = run_trials(clique_factory(16), opt);
+  ASSERT_EQ(report.per_trial.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(report.per_trial[i].completed);
+    EXPECT_DOUBLE_EQ(report.per_trial[i].spread_time, report.spread_time.values()[i]);
+  }
+  opt.keep_per_trial = false;
+  EXPECT_TRUE(run_trials(clique_factory(16), opt).per_trial.empty());
+}
+
+TEST(Runner, FailureProbPassesThroughToEngines) {
+  RunnerOptions opt;
+  opt.trials = 10;
+  opt.seed = 17;
+  const double clean = run_trials(clique_factory(32), opt).spread_time.mean();
+  opt.transmission_failure_prob = 0.8;
+  const double lossy = run_trials(clique_factory(32), opt).spread_time.mean();
+  EXPECT_GT(lossy, clean);
+
+  opt.engine = EngineKind::sync_rounds;
+  opt.transmission_failure_prob = 0.0;
+  const double sync_clean = run_trials(clique_factory(32), opt).spread_time.mean();
+  opt.transmission_failure_prob = 0.8;
+  const double sync_lossy = run_trials(clique_factory(32), opt).spread_time.mean();
+  EXPECT_GT(sync_lossy, sync_clean);
+}
+
 TEST(Runner, RejectsZeroThreads) {
   RunnerOptions opt;
   opt.threads = 0;

@@ -1,12 +1,15 @@
-// Unit tests for the support module: contracts, table printer, CLI parser.
+// Unit tests for the support module: contracts, table printer, CLI parser,
+// JSON writer.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 
 #include "support/cli.h"
 #include "support/contracts.h"
+#include "support/json.h"
 #include "support/table.h"
 #include "support/timer.h"
 
@@ -74,6 +77,57 @@ TEST(Cli, ParsesEqualsAndSpaceForms) {
 TEST(Cli, RejectsPositionalArguments) {
   const char* argv[] = {"prog", "oops"};
   EXPECT_THROW(Cli(2, const_cast<char**>(argv)), std::invalid_argument);
+}
+
+TEST(Json, NumberRoundTripsAndHandlesSpecials) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(1e9), "1e+09");
+  EXPECT_EQ(std::strtod(json_number(0.1).c_str(), nullptr), 0.1);
+  const double awkward = 5.468394823904823;
+  EXPECT_EQ(std::strtod(json_number(awkward).c_str(), nullptr), awkward);
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, WriterProducesWellFormedNestedValue) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object()
+      .field("name", "x")
+      .field("count", static_cast<std::int64_t>(3))
+      .field("ok", true);
+  json.key("values").begin_array().value(1.5).value(static_cast<std::int64_t>(2)).null().end_array();
+  json.key("nested").begin_object().field("d", 0.25).end_object();
+  json.end_object();
+  EXPECT_EQ(os.str(),
+            "{\"name\":\"x\",\"count\":3,\"ok\":true,"
+            "\"values\":[1.5,2,null],\"nested\":{\"d\":0.25}}");
+}
+
+TEST(Json, WriterRejectsMisuse) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  EXPECT_THROW(json.value(1.0), std::invalid_argument);  // member without key
+  EXPECT_THROW(json.end_array(), std::invalid_argument);
+  JsonWriter arr(os);
+  arr.begin_array();
+  EXPECT_THROW(arr.key("k"), std::invalid_argument);  // key inside array
+}
+
+TEST(Cli, ExposesAllEntries) {
+  const char* argv[] = {"prog", "--n=128", "--flag"};
+  Cli cli(3, const_cast<char**>(argv));
+  ASSERT_EQ(cli.entries().size(), 2u);
+  EXPECT_EQ(cli.entries().at("n"), "128");
+  EXPECT_EQ(cli.entries().at("flag"), "true");
 }
 
 TEST(Timer, MeasuresNonNegativeTime) {

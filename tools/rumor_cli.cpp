@@ -1,0 +1,288 @@
+// rumor_cli — the production experiment driver over the scenario registry.
+//
+// Subcommands:
+//   list      catalog every registered scenario (--markdown for README tables)
+//   describe  full parameter schema of one scenario (--scenario NAME)
+//   run       multi-trial run of one scenario (--json / --csv / default table)
+//   sweep     grid runs: scenarios x engines x protocols x one swept parameter
+//
+// Scenario parameters are passed as plain options (--n 512 --rho 0.25 ...);
+// anything not a reserved driver option is validated against the scenario's
+// schema. Every JSON summary record carries the full reproducibility
+// manifest (scenario, resolved params, engine, protocol, seed, build id), so
+// a recorded run can be replayed exactly. See docs/ARCHITECTURE.md.
+//
+//   $ rumor_cli run --scenario dynamic_star --n 256 --trials 30 --seed 1 --json
+//   $ rumor_cli sweep --scenarios static_clique,dynamic_star
+//         --engines async_jump,sync --sweep n=128,256 --trials 10 --csv
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenarios/experiment.h"
+#include "support/cli.h"
+#include "support/json.h"
+#include "support/table.h"
+
+#ifndef RUMOR_BUILD_INFO
+#define RUMOR_BUILD_INFO "unknown"
+#endif
+
+namespace rumor {
+namespace {
+
+// Driver options; everything else is treated as a scenario parameter.
+const std::set<std::string>& reserved_options() {
+  static const std::set<std::string> names = {
+      "scenario", "scenarios", "engine",      "engines",     "protocol", "protocols",
+      "trials",   "seed",      "threads",     "bounds",      "failure",  "clock-rate",
+      "time-limit", "round-limit", "source",  "sweep",       "json",     "csv",
+      "markdown", "help",
+  };
+  return names;
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::map<std::string, std::string> scenario_overrides(const Cli& cli) {
+  std::map<std::string, std::string> overrides;
+  for (const auto& [name, value] : cli.entries()) {
+    if (reserved_options().count(name) == 0) overrides[name] = value;
+  }
+  return overrides;
+}
+
+RunnerOptions runner_options(const Cli& cli) {
+  RunnerOptions opt;
+  opt.engine = parse_engine(cli.get("engine", "async_jump"));
+  opt.protocol = parse_protocol(cli.get("protocol", "push_pull"));
+  opt.trials = static_cast<int>(cli.get_int("trials", 30));
+  opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  opt.threads = static_cast<int>(cli.get_int("threads", 1));
+  opt.clock_rate = cli.get_double("clock-rate", 1.0);
+  opt.time_limit = cli.get_double("time-limit", opt.time_limit);
+  opt.round_limit = cli.get_int("round-limit", opt.round_limit);
+  opt.source = static_cast<NodeId>(cli.get_int("source", -1));
+  opt.transmission_failure_prob = cli.get_double("failure", 0.0);
+  if (cli.has("bounds")) {
+    opt.track_bounds = true;
+    // `--bounds` alone tracks with c = 1; `--bounds 2` sets the exponent.
+    if (cli.get("bounds", "true") != "true") opt.bound_c = cli.get_double("bounds", 1.0);
+  }
+  return opt;
+}
+
+std::string params_summary(const ScenarioSpec& spec) {
+  std::string out;
+  for (const ParamSpec& p : spec.params) {
+    if (!out.empty()) out += " ";
+    out += p.name + "=" + format_param_value(p.kind, p.fallback);
+  }
+  return out;
+}
+
+int cmd_list(const Cli& cli) {
+  if (cli.get_bool("markdown", false)) {
+    std::cout << "| scenario | parameters (defaults) | paper anchor | description |\n";
+    std::cout << "| --- | --- | --- | --- |\n";
+    for (const ScenarioSpec& s : scenario_registry()) {
+      std::cout << "| `" << s.name << "` | `" << params_summary(s) << "` | " << s.paper_anchor
+                << " | " << s.summary << " |\n";
+    }
+    return 0;
+  }
+  Table table({"scenario", "parameters (defaults)", "paper anchor"});
+  for (const ScenarioSpec& s : scenario_registry()) {
+    table.add_row({s.name, params_summary(s), s.paper_anchor});
+  }
+  table.print(std::cout);
+  std::cout << "\n" << scenario_registry().size()
+            << " scenarios; `rumor_cli describe --scenario NAME` for details.\n";
+  return 0;
+}
+
+int cmd_describe(const Cli& cli) {
+  const ScenarioSpec& spec = require_scenario(cli.get("scenario", ""));
+  std::cout << spec.name << " — " << spec.summary << "\n";
+  std::cout << "paper anchor: " << spec.paper_anchor << "\n\n";
+  Table table({"parameter", "kind", "default", "min", "max", "description"});
+  for (const ParamSpec& p : spec.params) {
+    table.add_row({p.name, to_string(p.kind), format_param_value(p.kind, p.fallback),
+                   format_param_value(p.kind, p.min_value),
+                   format_param_value(p.kind, p.max_value), p.description});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_run(const Cli& cli) {
+  // Sweep-only options would otherwise be reserved-but-ignored here, and a
+  // plural slip (--engines for --engine) must not silently run defaults.
+  const std::pair<const char*, const char*> sweep_only[] = {
+      {"scenarios", "use --scenario NAME"},
+      {"engines", "use --engine NAME"},
+      {"protocols", "use --protocol NAME"},
+      {"sweep", "pass the parameter directly, e.g. --n 256"},
+  };
+  for (const auto& [name, hint] : sweep_only) {
+    if (cli.has(name)) {
+      std::cerr << "--" << name << " is a sweep option; for `run` " << hint
+                << " (or use `rumor_cli sweep`)\n";
+      return 2;
+    }
+  }
+  ExperimentConfig config;
+  config.scenario = cli.get("scenario", "");
+  config.param_overrides = scenario_overrides(cli);
+  config.runner = runner_options(cli);
+  // Per-trial results are only retained for the streaming outputs; the
+  // default table reads aggregates alone.
+  config.runner.keep_per_trial = cli.get_bool("json", false) || cli.get_bool("csv", false);
+
+  const ExperimentResult result = run_experiment(config);
+  if (cli.get_bool("json", false)) {
+    emit_json(std::cout, result, RUMOR_BUILD_INFO);
+  } else if (cli.get_bool("csv", false)) {
+    emit_csv_header(std::cout);
+    emit_csv(std::cout, result);
+  } else {
+    emit_text(std::cout, result);
+  }
+  return 0;
+}
+
+int cmd_sweep(const Cli& cli) {
+  std::vector<std::string> scenarios = split_list(cli.get("scenarios", cli.get("scenario", "")));
+  if (scenarios.empty()) {
+    std::cerr << "sweep needs --scenarios a,b,... (or --scenario NAME)\n";
+    return 2;
+  }
+  // Singular forms are honoured as one-element grids.
+  const std::vector<std::string> engines =
+      split_list(cli.get("engines", cli.get("engine", "async_jump")));
+  const std::vector<std::string> protocols =
+      split_list(cli.get("protocols", cli.get("protocol", "push_pull")));
+
+  // One optional swept scenario parameter: --sweep name=v1,v2,...
+  std::string sweep_name;
+  std::vector<std::string> sweep_values = {""};
+  if (cli.has("sweep")) {
+    const std::string sweep = cli.get("sweep", "");
+    const auto eq = sweep.find('=');
+    if (eq == std::string::npos || split_list(sweep.substr(eq + 1)).empty()) {
+      std::cerr << "--sweep expects name=v1,v2,... got '" << sweep << "'\n";
+      return 2;
+    }
+    sweep_name = sweep.substr(0, eq);
+    sweep_values = split_list(sweep.substr(eq + 1));
+  }
+
+  // Validate the whole grid up front: a typo in a late cell must reject the
+  // sweep in milliseconds, not abort it mid-grid after hours of runs.
+  for (const std::string& scenario : scenarios) {
+    const ScenarioSpec& spec = require_scenario(scenario);
+    for (const std::string& value : sweep_values) {
+      std::map<std::string, std::string> overrides = scenario_overrides(cli);
+      if (!sweep_name.empty()) overrides[sweep_name] = value;
+      ScenarioParams::resolve(spec, overrides);
+    }
+  }
+  for (const std::string& engine : engines) parse_engine(engine);
+  for (const std::string& protocol : protocols) parse_protocol(protocol);
+
+  const bool json = cli.get_bool("json", false);
+  const bool csv = cli.get_bool("csv", false);
+  if (csv) emit_csv_header(std::cout);
+  Table table({"scenario", sweep_name.empty() ? "-" : sweep_name, "engine", "protocol",
+               "completed", "mean", "median", "max", "seconds"});
+
+  for (const std::string& scenario : scenarios) {
+    for (const std::string& value : sweep_values) {
+      for (const std::string& engine : engines) {
+        for (const std::string& protocol : protocols) {
+          ExperimentConfig config;
+          config.scenario = scenario;
+          config.param_overrides = scenario_overrides(cli);
+          if (!sweep_name.empty()) config.param_overrides[sweep_name] = value;
+          config.runner = runner_options(cli);
+          config.runner.engine = parse_engine(engine);
+          config.runner.protocol = parse_protocol(protocol);
+          config.runner.keep_per_trial = json || csv;
+
+          const ExperimentResult result = run_experiment(config);
+          if (json) {
+            emit_json(std::cout, result, RUMOR_BUILD_INFO);
+          } else if (csv) {
+            emit_csv(std::cout, result);
+          } else {
+            const SampleSet& st = result.report.spread_time;
+            table.add_row({scenario, value.empty() ? "-" : value,
+                           to_string(config.runner.engine), to_string(config.runner.protocol),
+                           std::to_string(result.report.completed) + "/" +
+                               std::to_string(result.report.trials),
+                           st.empty() ? "-" : Table::cell(st.mean()),
+                           st.empty() ? "-" : Table::cell(st.median()),
+                           st.empty() ? "-" : Table::cell(st.max()),
+                           Table::cell(result.elapsed_seconds)});
+          }
+        }
+      }
+    }
+  }
+  if (!json && !csv) table.print(std::cout);
+  return 0;
+}
+
+int usage(std::ostream& os, int code) {
+  os << "usage: rumor_cli <subcommand> [options]\n\n"
+        "subcommands:\n"
+        "  list      catalog all scenarios (--markdown for a markdown table)\n"
+        "  describe  parameter schema of one scenario: --scenario NAME\n"
+        "  run       multi-trial run: --scenario NAME [--<param> V ...]\n"
+        "            [--engine async_jump|async_tick|sync|flooding]\n"
+        "            [--protocol push|pull|push_pull] [--trials N] [--seed S]\n"
+        "            [--threads T] [--bounds [c]] [--failure p] [--source ID]\n"
+        "            [--clock-rate r] [--time-limit T] [--round-limit R]\n"
+        "            [--json | --csv]\n"
+        "  sweep     grid of runs: --scenarios a,b --engines e1,e2\n"
+        "            --protocols p1,p2 --sweep param=v1,v2 + run options\n";
+  return code;
+}
+
+int dispatch(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string subcommand = argv[1];
+  if (subcommand == "help" || subcommand == "--help") return usage(std::cout, 0);
+
+  // Parse everything after the subcommand as options.
+  const Cli cli(argc - 1, argv + 1);
+  if (subcommand == "list") return cmd_list(cli);
+  if (subcommand == "describe") return cmd_describe(cli);
+  if (subcommand == "run") return cmd_run(cli);
+  if (subcommand == "sweep") return cmd_sweep(cli);
+  std::cerr << "unknown subcommand '" << subcommand << "'\n\n";
+  return usage(std::cerr, 2);
+}
+
+}  // namespace
+}  // namespace rumor
+
+int main(int argc, char** argv) {
+  try {
+    return rumor::dispatch(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "rumor_cli: " << e.what() << "\n";
+    return 2;
+  }
+}
