@@ -5,22 +5,28 @@
 // computation, sampler operations) and guard against performance regressions.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "core/async_engine.h"
 #include "core/sync_engine.h"
 #include "dynamic/diligent_adversary.h"
+#include "dynamic/edge_markovian.h"
 #include "dynamic/simple_networks.h"
 #include "graph/builders.h"
 #include "graph/conductance.h"
 #include "graph/diligence.h"
 #include "graph/random_graphs.h"
+#include "graph/topology.h"
+#include "stats/block_rates.h"
 #include "stats/fenwick.h"
+#include "support/bitset.h"
 
 namespace rumor {
 namespace {
 
 void BM_JumpEngineClique(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));
-  const Graph g = make_clique(n);
+  const auto g = std::make_shared<const Graph>(make_clique(n));
   std::uint64_t seed = 1;
   std::int64_t infections = 0;
   for (auto _ : state) {
@@ -38,7 +44,7 @@ BENCHMARK(BM_JumpEngineClique)->Arg(256)->Arg(1024)->Arg(4096);
 void BM_JumpEngineExpander(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));
   Rng build_rng(7);
-  const Graph g = random_connected_regular(build_rng, n, 4);
+  const auto g = std::make_shared<const Graph>(random_connected_regular(build_rng, n, 4));
   std::uint64_t seed = 1;
   std::int64_t infections = 0;
   for (auto _ : state) {
@@ -53,7 +59,7 @@ BENCHMARK(BM_JumpEngineExpander)->Arg(1024)->Arg(8192);
 
 void BM_TickEngineClique(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));
-  const Graph g = make_clique(n);
+  const auto g = std::make_shared<const Graph>(make_clique(n));
   std::uint64_t seed = 1;
   std::int64_t contacts = 0;
   for (auto _ : state) {
@@ -69,7 +75,7 @@ BENCHMARK(BM_TickEngineClique)->Arg(256)->Arg(1024);
 
 void BM_SyncEngineClique(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));
-  const Graph g = make_clique(n);
+  const auto g = std::make_shared<const Graph>(make_clique(n));
   std::uint64_t seed = 1;
   for (auto _ : state) {
     StaticNetwork net(g);
@@ -112,6 +118,75 @@ void BM_AbsoluteDiligence(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(absolute_diligence(g));
 }
 BENCHMARK(BM_AbsoluteDiligence)->Arg(8192);
+
+void BM_TopologyFullRebuild(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(3);
+  const Graph base = erdos_renyi(rng, n, 8.0 / static_cast<double>(n));
+  TopologyBuilder topo(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.rebuild(base.edges()).edge_count());
+  }
+  state.SetItemsProcessed(state.iterations() * base.edge_count());
+  state.SetLabel("items = edges");
+}
+BENCHMARK(BM_TopologyFullRebuild)->Arg(4096)->Arg(65536);
+
+void BM_TopologyApplyDelta(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(3);
+  const Graph base = erdos_renyi(rng, n, 8.0 / static_cast<double>(n));
+  TopologyBuilder topo(n);
+  topo.rebuild(base.edges());
+  // Flip the same small edge set in and out: a realistic change-point delta.
+  std::vector<Edge> batch;
+  for (const Edge& e : base.edges()) {
+    if (batch.size() >= 64) break;
+    batch.push_back(e);
+  }
+  bool present = true;
+  for (auto _ : state) {
+    if (present) {
+      benchmark::DoNotOptimize(topo.apply_delta(batch, {}).edge_count());
+    } else {
+      benchmark::DoNotOptimize(topo.apply_delta({}, batch).edge_count());
+    }
+    present = !present;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch.size()));
+  state.SetLabel("items = delta edges");
+}
+BENCHMARK(BM_TopologyApplyDelta)->Arg(4096)->Arg(65536);
+
+void BM_EdgeMarkovianStep(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  EdgeMarkovianNetwork net(n, 4.0 / static_cast<double>(n), 0.2, 5);
+  Bitset informed(static_cast<std::size_t>(n));
+  std::int64_t count = 1;
+  informed.set(0);
+  const InformedView view(&informed, &count);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.graph_at(t++, view).edge_count());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("items = change-points");
+}
+BENCHMARK(BM_EdgeMarkovianStep)->Arg(1024)->Arg(8192);
+
+void BM_BlockRatesSampleUpdate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  BlockRates r(n);
+  Rng rng(3);
+  for (std::size_t i = 0; i < n; ++i) r.add(i, rng.uniform() + 0.01);
+  for (auto _ : state) {
+    const auto i = r.sample(rng.uniform() * r.total());
+    r.add(i, rng.uniform() * 0.01);
+    benchmark::DoNotOptimize(i);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BlockRatesSampleUpdate)->Arg(1024)->Arg(65536);
 
 void BM_FenwickSampleUpdate(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

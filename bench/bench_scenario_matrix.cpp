@@ -8,10 +8,16 @@
 // BENCH_*.json snapshot via `rumor_cli sweep --json`).
 //
 //   $ ./bench_scenario_matrix [--n 256] [--trials 10] [--seed 1] [--threads 1]
+//                             [--json]
+//
+// --json swaps the human table for JSON-lines records
+// ({"record":"scenario_matrix", ...}, one per scenario) that
+// scripts/run_bench.sh appends to the BENCH_*.json snapshots.
 #include <iostream>
 
 #include "common/bench_util.h"
 #include "scenarios/registry.h"
+#include "support/json.h"
 #include "support/timer.h"
 
 int main(int argc, char** argv) {
@@ -21,10 +27,13 @@ int main(int argc, char** argv) {
   const int trials = static_cast<int>(cli.get_int("trials", 10));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const int threads = static_cast<int>(cli.get_int("threads", 1));
+  const bool json = cli.get_bool("json", false);
 
-  bench::banner("E15", "scenario registry",
-                "every catalog scenario runs under the jump engine; rows give "
-                "trials/second per family");
+  if (!json) {
+    bench::banner("E15", "scenario registry",
+                  "every catalog scenario runs under the jump engine; rows give "
+                  "trials/second per family");
+  }
 
   Table table({"scenario", "nodes", "completed", "mean-time", "median", "seconds", "trials/s"});
   bool all_completed = true;
@@ -58,18 +67,53 @@ int main(int argc, char** argv) {
 
       const auto nodes =
           static_cast<std::int64_t>(report.per_trial.front().informed_flags.size());
-      table.add_row({spec.name, Table::cell(nodes),
-                     std::to_string(report.completed) + "/" + std::to_string(report.trials),
-                     report.spread_time.empty() ? "-" : Table::cell(report.spread_time.mean()),
-                     report.spread_time.empty() ? "-" : Table::cell(report.spread_time.median()),
-                     Table::cell(seconds), Table::cell(trials / seconds)});
+      if (json) {
+        JsonWriter writer(std::cout);
+        writer.begin_object()
+            .field("record", "scenario_matrix")
+            .field("scenario", spec.name)
+            .field("nodes", nodes)
+            .field("engine", "async-jump")
+            .field("trials", report.trials)
+            .field("completed", report.completed)
+            .field("seed", seed)
+            .field("threads", threads);
+        writer.key("spread_time_mean");
+        if (report.spread_time.empty()) {
+          writer.null();
+        } else {
+          writer.value(report.spread_time.mean());
+        }
+        writer.field("elapsed_seconds", seconds)
+            .field("trials_per_second", trials / seconds)
+            .end_object();
+        std::cout << '\n';
+      } else {
+        table.add_row({spec.name, Table::cell(nodes),
+                       std::to_string(report.completed) + "/" + std::to_string(report.trials),
+                       report.spread_time.empty() ? "-" : Table::cell(report.spread_time.mean()),
+                       report.spread_time.empty() ? "-" : Table::cell(report.spread_time.median()),
+                       Table::cell(seconds), Table::cell(trials / seconds)});
+      }
     } catch (const std::exception& e) {
       all_completed = false;
-      table.add_row({spec.name, "-", "error", "-", "-", "-", "-"});
+      if (json) {
+        JsonWriter writer(std::cout);
+        writer.begin_object()
+            .field("record", "scenario_matrix")
+            .field("scenario", spec.name)
+            .field("error", e.what())
+            .end_object();
+        std::cout << '\n';
+      } else {
+        table.add_row({spec.name, "-", "error", "-", "-", "-", "-"});
+      }
       std::cerr << spec.name << ": " << e.what() << "\n";
     }
   }
-  table.print(std::cout);
-  bench::verdict(all_completed, "all scenarios completed all trials");
+  if (!json) {
+    table.print(std::cout);
+    bench::verdict(all_completed, "all scenarios completed all trials");
+  }
   return all_completed ? 0 : 1;
 }

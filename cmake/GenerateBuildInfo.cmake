@@ -1,0 +1,46 @@
+# Build-time generation of the rumor build-id header.
+#
+# Invoked as a -P script from a custom target on every build (not at configure
+# time, so the id can never go stale), with:
+#   -DSRC_DIR=<repository root>  -DOUT=<path of the header to (re)generate>
+#
+# Derivation mirrors scripts/build_id.sh: refresh the index stat cache first
+# so mtime-only changes to tracked files do not stamp a content-clean tree as
+# "-dirty", then git-describe. The header is only rewritten when the id
+# actually changed, so incremental builds do not relink rumor_cli for nothing.
+
+find_package(Git QUIET)
+
+set(RUMOR_BUILD_INFO "unknown")
+if(GIT_FOUND)
+  execute_process(
+    COMMAND ${GIT_EXECUTABLE} update-index -q --refresh
+    WORKING_DIRECTORY ${SRC_DIR}
+    OUTPUT_QUIET ERROR_QUIET)
+  execute_process(
+    COMMAND ${GIT_EXECUTABLE} describe --always --dirty --tags
+    WORKING_DIRECTORY ${SRC_DIR}
+    OUTPUT_VARIABLE RUMOR_GIT_DESCRIBE
+    OUTPUT_STRIP_TRAILING_WHITESPACE
+    ERROR_QUIET
+    RESULT_VARIABLE RUMOR_GIT_RESULT)
+  if(RUMOR_GIT_RESULT EQUAL 0)
+    set(RUMOR_BUILD_INFO "${RUMOR_GIT_DESCRIBE}")
+  endif()
+endif()
+
+set(header_content "// Generated at build time by cmake/GenerateBuildInfo.cmake; do not edit.
+#pragma once
+
+namespace rumor {
+inline constexpr const char kRumorBuildInfo[] = \"${RUMOR_BUILD_INFO}\";
+}  // namespace rumor
+")
+
+set(existing "")
+if(EXISTS ${OUT})
+  file(READ ${OUT} existing)
+endif()
+if(NOT existing STREQUAL header_content)
+  file(WRITE ${OUT} "${header_content}")
+endif()

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Canonical build-id derivation: `git describe --always --dirty --tags`, made
+# robust against the classic false-dirty failure mode.
+#
+# `--dirty` runs diff-index against the index's *stat cache*; a tracked file
+# whose mtime changed without a content change (checkout on another machine,
+# touch, some editors' safe-save) makes it report "-dirty" on a content-clean
+# tree. That is exactly how BENCH snapshots ended up stamped `...-dirty` from
+# clean trees. Refreshing the index first (`git update-index -q --refresh`)
+# re-stats the files and clears the false positives; genuine content changes
+# still yield the -dirty suffix.
+#
+# Usage: scripts/build_id.sh [REPO_DIR]   (default: this repository)
+# Prints the build id on stdout; prints "unknown" outside a git work tree.
+set -euo pipefail
+
+dir=${1:-$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)}
+cd "$dir"
+
+if ! git rev-parse --is-inside-work-tree > /dev/null 2>&1; then
+  echo unknown
+  exit 0
+fi
+
+# Refresh the stat cache; the command exits non-zero when files *are* modified,
+# which is not an error for us.
+git update-index -q --refresh || true
+git describe --always --dirty --tags 2>/dev/null || echo unknown

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json snapshots and gate on throughput regressions.
+
+Reads the {"record":"summary"} lines of a baseline and a current snapshot
+(scripts/run_bench.sh output), matches grid cells by their reproducibility
+manifest (scenario, params, engine, protocol, trials, seed, threads — i.e.
+identical work), computes each cell's spread-time throughput (trials /
+elapsed_seconds), and fails when the MEDIAN ratio current/baseline across
+matched cells drops below 1 - max_regression. The median keeps one noisy cell
+on a shared CI runner from failing the gate, while a real engine regression
+moves every cell.
+
+Usage:
+  compare_bench.py BASELINE.json CURRENT.json [--max-regression 0.25]
+  compare_bench.py --self-test
+
+--self-test proves the gate actually fires: it compares a synthetic snapshot
+with exactly half the baseline throughput (must FAIL) and an identical copy
+(must PASS), exiting non-zero if either behaves wrongly. The CI perf job runs
+it before the real comparison.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+MANIFEST_KEYS = ("scenario", "params", "engine", "protocol", "trials", "seed", "threads")
+
+
+def load_summaries(path):
+    cells = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or '"record":"summary"' not in line:
+                continue
+            rec = json.loads(line)
+            if rec.get("record") != "summary":
+                continue
+            manifest = rec["manifest"]
+            key = tuple(json.dumps(manifest.get(k), sort_keys=True) for k in MANIFEST_KEYS)
+            elapsed = rec.get("elapsed_seconds")
+            trials = manifest.get("trials")
+            if not elapsed or not trials or elapsed <= 0:
+                continue
+            cells[key] = {
+                "label": "{} {} {}".format(
+                    manifest.get("scenario"),
+                    ",".join("%s=%s" % kv for kv in sorted(manifest.get("params", {}).items())),
+                    manifest.get("engine"),
+                ),
+                "throughput": trials / elapsed,
+            }
+    return cells
+
+
+def compare(baseline, current, max_regression):
+    """Returns (ok, report_lines)."""
+    matched = sorted(set(baseline) & set(current))
+    if not matched:
+        return False, ["no matching summary cells between baseline and current"]
+
+    lines = ["%-46s %12s %12s %8s" % ("cell", "base tr/s", "cur tr/s", "ratio")]
+    ratios = []
+    for key in matched:
+        base = baseline[key]
+        cur = current[key]
+        ratio = cur["throughput"] / base["throughput"]
+        ratios.append(ratio)
+        lines.append("%-46s %12.2f %12.2f %8.3f"
+                     % (base["label"], base["throughput"], cur["throughput"], ratio))
+
+    median_ratio = statistics.median(ratios)
+    threshold = 1.0 - max_regression
+    ok = median_ratio >= threshold
+    lines.append("median throughput ratio %.3f over %d cells (threshold %.3f): %s"
+                 % (median_ratio, len(ratios), threshold, "OK" if ok else "REGRESSION"))
+    return ok, lines
+
+
+def self_test(max_regression):
+    baseline = {
+        ("a",): {"label": "cell-a", "throughput": 100.0},
+        ("b",): {"label": "cell-b", "throughput": 10.0},
+        ("c",): {"label": "cell-c", "throughput": 1.0},
+    }
+    halved = {k: {"label": v["label"], "throughput": v["throughput"] / 2.0}
+              for k, v in baseline.items()}
+
+    ok_halved, _ = compare(baseline, halved, max_regression)
+    if ok_halved:
+        print("self-test FAILED: halved throughput passed the gate", file=sys.stderr)
+        return 1
+    ok_same, _ = compare(baseline, dict(baseline), max_regression)
+    if not ok_same:
+        print("self-test FAILED: identical snapshot failed the gate", file=sys.stderr)
+        return 1
+    print("self-test passed: halved throughput fails the gate, identical passes")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")
+    parser.add_argument("current", nargs="?", help="current BENCH_*.json")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="maximum tolerated fractional drop of the median "
+                             "throughput ratio (default 0.25)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate fires on artificially halved throughput")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test(args.max_regression))
+    if not args.baseline or not args.current:
+        parser.error("BASELINE and CURRENT are required unless --self-test")
+
+    ok, lines = compare(load_summaries(args.baseline), load_summaries(args.current),
+                        args.max_regression)
+    print("\n".join(lines))
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,30 +1,98 @@
 #!/usr/bin/env bash
-# Records a perf snapshot of the standard scenario x engine grid as JSON
-# lines via `rumor_cli sweep --json` (per-trial records + one summary record
-# per grid cell, each summary carrying the full reproducibility manifest and
-# wall-clock elapsed_seconds).
+# Records a perf snapshot of the scenario x engine grid as JSON lines.
 #
-# Usage: scripts/run_bench.sh [OUTPUT.json]   (default BENCH_2.json)
-#   BUILD_DIR=build-release scripts/run_bench.sh   # alternate build tree
+# Sections of a snapshot (all JSON-lines, distinguished by "record"):
+#   * "trial" / "summary"  — `rumor_cli sweep --json` per-trial records plus
+#     one summary per grid cell, each summary carrying the reproducibility
+#     manifest (build id included) and wall-clock elapsed_seconds;
+#   * "scenario_matrix"    — bench_scenario_matrix --json: registry-wide
+#     jump-engine throughput, one row per catalog scenario;
+#   * "microbench"         — bench_engine_throughput (google-benchmark)
+#     converted to one record per benchmark, when the binary exists.
+#
+# Usage: scripts/run_bench.sh [OUTPUT.json]     (default BENCH_3.json)
+#   BUILD_DIR=build-release scripts/run_bench.sh    # alternate build tree
+#   MATRIX=ci scripts/run_bench.sh bench_ci.json    # pinned small CI matrix
 #
 # Successive snapshots (BENCH_2.json, BENCH_3.json, ...) are how scale/speed
-# PRs demonstrate their wins: diff the elapsed_seconds of matching manifests.
+# PRs demonstrate their wins: scripts/compare_bench.py diffs the throughput of
+# matching summary manifests, and the CI perf job gates on it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
-OUT=${1:-BENCH_2.json}
+OUT=${1:-BENCH_3.json}
+MATRIX=${MATRIX:-full}
 
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$BUILD_DIR" --target rumor_cli -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target rumor_cli bench_scenario_matrix -j"$(nproc)"
+# Optional target: only generated when google-benchmark is installed.
+if cmake --build "$BUILD_DIR" --target help 2>/dev/null | grep -q bench_engine_throughput; then
+  cmake --build "$BUILD_DIR" --target bench_engine_throughput -j"$(nproc)"
+fi
 
-"$BUILD_DIR/tools/rumor_cli" sweep \
-  --scenarios static_clique,static_expander,dynamic_star,clique_bridge,edge_markovian,mobile_geometric \
-  --engines async_jump,async_tick,sync \
-  --sweep n=128,256 \
-  --trials 10 --seed 1 --threads 1 \
-  --json > "$OUT"
+cli="$BUILD_DIR/tools/rumor_cli"
+: > "$OUT"
 
-echo "wrote $OUT ($(grep -c '"record":"summary"' "$OUT") summary records)" >&2
+case "$MATRIX" in
+  full)
+    # 1. The BENCH_2-compatible scenario x engine grid.
+    "$cli" sweep \
+      --scenarios static_clique,static_expander,dynamic_star,clique_bridge,edge_markovian,mobile_geometric \
+      --engines async_jump,async_tick,sync \
+      --sweep n=128,256 \
+      --trials 10 --seed 1 --threads 1 \
+      --json >> "$OUT"
+    # 2. Hot-path cells: large static graphs under the jump engine (the
+    #    headline ≥2x acceptance cell is static_clique n=4096 async_jump).
+    "$cli" sweep --scenarios static_clique --engines async_jump \
+      --sweep n=1024,4096 --trials 10 --seed 1 --threads 1 --json >> "$OUT"
+    "$cli" sweep --scenarios static_expander --engines async_jump \
+      --sweep n=16384 --trials 10 --seed 1 --threads 1 --json >> "$OUT"
+    # 3. Registry-wide jump-engine throughput rows.
+    "$BUILD_DIR/bench/bench_scenario_matrix" --n 256 --trials 10 --seed 1 --json >> "$OUT"
+    ;;
+  ci)
+    # Pinned small matrix for the CI perf gate: few cells, each big enough
+    # for the wall clock to be meaningful on a shared runner.
+    "$cli" sweep \
+      --scenarios static_clique,dynamic_star,edge_markovian \
+      --engines async_jump,sync \
+      --sweep n=512 \
+      --trials 30 --seed 1 --threads 1 --json >> "$OUT"
+    "$cli" sweep --scenarios static_clique --engines async_jump,async_tick \
+      --sweep n=2048 --trials 15 --seed 1 --threads 1 --json >> "$OUT"
+    ;;
+  *)
+    echo "unknown MATRIX '$MATRIX' (known: full, ci)" >&2
+    exit 2
+    ;;
+esac
+
+# google-benchmark microbenches, one JSON-lines record per benchmark.
+if [ -x "$BUILD_DIR/bench/bench_engine_throughput" ]; then
+  tmp=$(mktemp)
+  trap 'rm -f "$tmp"' EXIT
+  "$BUILD_DIR/bench/bench_engine_throughput" \
+    --benchmark_filter='JumpEngine|TickEngine|SyncEngine|BlockRates|Fenwick|Topology|EdgeMarkovianStep' \
+    --benchmark_format=json > "$tmp" 2>/dev/null
+  python3 - "$tmp" >> "$OUT" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+for b in data.get("benchmarks", []):
+    print(json.dumps({
+        "record": "microbench",
+        "name": b["name"],
+        "real_time_ns": b.get("real_time"),
+        "items_per_second": b.get("items_per_second"),
+    }, separators=(",", ":")))
+EOF
+fi
+
+echo "wrote $OUT ($(grep -c '"record":"summary"' "$OUT") summary records," \
+     "$(grep -c '"record":"microbench"' "$OUT" || true) microbench records)" >&2

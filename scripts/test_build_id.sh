@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Tests for scripts/build_id.sh: the -dirty suffix must track *content*
+# changes to tracked files, not stat-cache staleness.
+#
+# Builds a throwaway git repository in a temp dir and checks:
+#   1. clean tree        -> no -dirty suffix;
+#   2. mtime-only touch  -> still no -dirty (the false positive the
+#      update-index refresh exists to prevent);
+#   3. content change    -> -dirty appears;
+#   4. revert            -> -dirty disappears again;
+#   5. non-git directory -> "unknown".
+set -euo pipefail
+here=$(CDPATH='' cd -- "$(dirname -- "$0")" && pwd)
+build_id="$here/build_id.sh"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+repo="$tmp/repo"
+mkdir -p "$repo"
+git -C "$repo" init -q
+git -C "$repo" config user.email test@example.com
+git -C "$repo" config user.name test
+echo alpha > "$repo/file.txt"
+git -C "$repo" add file.txt
+git -C "$repo" commit -q -m initial
+
+id=$("$build_id" "$repo")
+[[ "$id" =~ ^[0-9a-f]+$ ]] || fail "clean tree should describe as a bare hash, got '$id'"
+
+# Stat-cache staleness: same content, new mtime. Without the update-index
+# refresh, `git describe --dirty` reports a false -dirty here.
+touch -d '2001-02-03 04:05' "$repo/file.txt"
+id=$("$build_id" "$repo")
+[[ "$id" != *-dirty ]] || fail "mtime-only change must not mark the tree dirty, got '$id'"
+
+echo beta > "$repo/file.txt"
+id=$("$build_id" "$repo")
+[[ "$id" == *-dirty ]] || fail "content change must mark the tree dirty, got '$id'"
+
+git -C "$repo" checkout -q -- file.txt
+id=$("$build_id" "$repo")
+[[ "$id" != *-dirty ]] || fail "reverted tree must be clean again, got '$id'"
+
+mkdir -p "$tmp/plain"
+id=$("$build_id" "$tmp/plain")
+[[ "$id" == unknown ]] || fail "non-git directory must yield 'unknown', got '$id'"
+
+echo "build_id.sh: all checks passed"

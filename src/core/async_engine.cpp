@@ -4,58 +4,40 @@
 #include <limits>
 #include <vector>
 
+#include "stats/block_rates.h"
 #include "stats/distributions.h"
-#include "stats/fenwick.h"
+#include "support/bitset.h"
 #include "support/contracts.h"
 
 namespace rumor {
 
 namespace {
 
-// Rate contribution for informing the uninformed endpoint x of a crossing
-// edge whose informed endpoint is y (degrees in the current graph).
-inline double edge_weight(Protocol protocol, double beta, double deg_uninformed,
-                          double deg_informed) {
-  switch (protocol) {
-    case Protocol::push:
-      return beta / deg_informed;
-    case Protocol::pull:
-      return beta / deg_uninformed;
-    case Protocol::push_pull:
-      return beta / deg_informed + beta / deg_uninformed;
-  }
-  return 0.0;
-}
-
 struct RunState {
-  std::vector<std::uint8_t> informed;
+  Bitset informed;
   std::int64_t informed_count = 0;
 
   void init(NodeId n, NodeId source, const std::vector<NodeId>& extras) {
-    informed.assign(static_cast<std::size_t>(n), 0);
-    informed[static_cast<std::size_t>(source)] = 1;
+    informed.reset(static_cast<std::size_t>(n));
+    informed.set(static_cast<std::size_t>(source));
     informed_count = 1;
     for (NodeId u : extras) {
       DG_REQUIRE(u >= 0 && u < n, "extra source out of range");
-      if (informed[static_cast<std::size_t>(u)] == 0) {
-        informed[static_cast<std::size_t>(u)] = 1;
+      if (!informed.test(static_cast<std::size_t>(u))) {
+        informed.set(static_cast<std::size_t>(u));
         ++informed_count;
       }
     }
   }
-  bool is_informed(NodeId u) const { return informed[static_cast<std::size_t>(u)] != 0; }
+  bool is_informed(NodeId u) const { return informed.test(static_cast<std::size_t>(u)); }
   void inform(NodeId u) {
     DG_ASSERT(!is_informed(u), "node informed twice");
-    informed[static_cast<std::size_t>(u)] = 1;
+    informed.set(static_cast<std::size_t>(u));
     ++informed_count;
   }
 };
 
-}  // namespace
-
-SpreadResult run_async_jump(DynamicNetwork& net, NodeId source, Rng& rng,
-                            const AsyncOptions& options) {
-  const NodeId n = net.node_count();
+void check_options(NodeId n, NodeId source, const AsyncOptions& options) {
   DG_REQUIRE(n >= 1, "network must have nodes");
   DG_REQUIRE(source >= 0 && source < n, "source out of range");
   DG_REQUIRE(options.clock_rate > 0.0, "clock rate must be positive");
@@ -63,6 +45,14 @@ SpreadResult run_async_jump(DynamicNetwork& net, NodeId source, Rng& rng,
   DG_REQUIRE(options.transmission_failure_prob >= 0.0 &&
                  options.transmission_failure_prob < 1.0,
              "failure probability must lie in [0, 1)");
+}
+
+}  // namespace
+
+SpreadResult run_async_jump(DynamicNetwork& net, NodeId source, Rng& rng,
+                            const AsyncOptions& options) {
+  const NodeId n = net.node_count();
+  check_options(n, source, options);
 
   SpreadResult result;
   RunState state;
@@ -81,35 +71,73 @@ SpreadResult run_async_jump(DynamicNetwork& net, NodeId source, Rng& rng,
   std::uint64_t version = graph->version();
   if (options.bound_tracker != nullptr) options.bound_tracker->on_step(net.current_profile());
 
-  FenwickTree rates(static_cast<std::size_t>(n));
   // Lossy contacts thin every informing Poisson stream by (1 - p): exact.
   const double beta = options.clock_rate * (1.0 - options.transmission_failure_prob);
+  const bool do_push =
+      options.protocol == Protocol::push || options.protocol == Protocol::push_pull;
+  const bool do_pull =
+      options.protocol == Protocol::pull || options.protocol == Protocol::push_pull;
+  const double pull_scale = do_pull ? 1.0 : 0.0;
 
-  // Rebuilds r(v) for every uninformed v by one pass over the edges.
-  auto rebuild_rates = [&]() {
-    std::vector<double> r(static_cast<std::size_t>(n), 0.0);
-    for (const Edge& e : graph->edges()) {
-      const bool iu = state.is_informed(e.u);
-      const bool iv = state.is_informed(e.v);
-      if (iu == iv) continue;
-      const NodeId uninformed = iu ? e.v : e.u;
-      const NodeId informed = iu ? e.u : e.v;
-      r[static_cast<std::size_t>(uninformed)] +=
-          edge_weight(options.protocol, beta, graph->degree(uninformed), graph->degree(informed));
+  const std::size_t nsz = static_cast<std::size_t>(n);
+  CsrView csr;
+  // winv[u] = β/deg(u): an informed u pushes across each incident edge at
+  // winv[u]; an uninformed u pulls across each incident edge at winv[u]. This
+  // is edge_weight of the paper's λ(γ) with the divides hoisted out of the
+  // per-infection loop.
+  std::vector<double> winv(nsz, 0.0);
+  std::vector<double> rate_scratch(nsz, 0.0);
+  BlockRates rates;
+  ExponentialBlock clocks;
+
+  // Per change-point: refresh the CSR view and rebuild r(v) for every
+  // uninformed v. Each crossing edge (u ∈ I, w ∉ I) contributes
+  // do_push·winv[u] + do_pull·winv[w] to r(w), and walking either side's
+  // adjacency lists visits every crossing edge exactly once — so the rebuild
+  // walks whichever side holds fewer nodes, O(min(vol(I), vol(V∖I)) + n)
+  // instead of O(m). (Right after injection that is the source's degree, not
+  // the whole edge set.) Exactly recomputed sums also bound the float drift
+  // of the O(1) incremental updates between rebuilds.
+  auto rebuild_topology = [&]() {
+    csr = graph->csr();
+    for (std::size_t u = 0; u < nsz; ++u) {
+      const NodeId deg = csr.degree(static_cast<NodeId>(u));
+      winv[u] = deg > 0 ? beta / static_cast<double>(deg) : 0.0;
     }
-    rates.assign(r);
+    rate_scratch.assign(nsz, 0.0);
+    const bool walk_informed = state.informed_count * 2 <= n;
+    for (NodeId u = 0; u < n; ++u) {
+      if (state.is_informed(u) != walk_informed) continue;
+      const auto uu = static_cast<std::size_t>(u);
+      if (walk_informed) {
+        const double push_w = do_push ? winv[uu] : 0.0;
+        for (NodeId w : csr.neighbors(u)) {
+          if (state.is_informed(w)) continue;
+          rate_scratch[static_cast<std::size_t>(w)] +=
+              push_w + pull_scale * winv[static_cast<std::size_t>(w)];
+        }
+      } else {
+        const double pull_w = pull_scale * winv[uu];
+        double r = 0.0;
+        for (NodeId w : csr.neighbors(u)) {
+          if (!state.is_informed(w)) continue;
+          r += (do_push ? winv[static_cast<std::size_t>(w)] : 0.0) + pull_w;
+        }
+        rate_scratch[uu] = r;
+      }
+    }
+    rates.assign(rate_scratch);
   };
-  rebuild_rates();
+  rebuild_topology();
 
   auto inform_node = [&](NodeId v) {
     state.inform(v);
     ++result.informative_contacts;
-    rates.set(static_cast<std::size_t>(v), 0.0);
-    const double dv = graph->degree(v);
-    for (NodeId w : graph->neighbors(v)) {
+    rates.clear(static_cast<std::size_t>(v));
+    const double push_w = do_push ? winv[static_cast<std::size_t>(v)] : 0.0;
+    for (NodeId w : csr.neighbors(v)) {
       if (state.is_informed(w)) continue;
-      rates.add(static_cast<std::size_t>(w),
-                edge_weight(options.protocol, beta, graph->degree(w), dv));
+      rates.add(static_cast<std::size_t>(w), push_w + pull_scale * winv[static_cast<std::size_t>(w)]);
     }
   };
 
@@ -119,12 +147,11 @@ SpreadResult run_async_jump(DynamicNetwork& net, NodeId source, Rng& rng,
     const double lambda = rates.total();
 
     double next_event = std::numeric_limits<double>::infinity();
-    if (lambda > 0.0) next_event = tau + sample_exponential(rng, lambda);
+    if (lambda > 0.0) next_event = tau + clocks.next(rng) / lambda;
 
     if (next_event < boundary && next_event <= options.time_limit) {
       tau = next_event;
-      const NodeId v =
-          static_cast<NodeId>(rates.sample(rng.uniform() * lambda));
+      const NodeId v = static_cast<NodeId>(rates.sample(rng.uniform() * lambda));
       inform_node(v);
       if (options.record_trace) result.trace.push_back({tau, state.informed_count});
       continue;
@@ -140,13 +167,13 @@ SpreadResult run_async_jump(DynamicNetwork& net, NodeId source, Rng& rng,
       graph = next;
       version = next->version();
       ++result.graph_changes;
-      rebuild_rates();
+      rebuild_topology();
     }
     if (options.bound_tracker != nullptr) options.bound_tracker->on_step(net.current_profile());
   }
 
   result.informed_count = state.informed_count;
-  result.informed_flags = std::move(state.informed);
+  result.informed_flags = state.informed.to_flags();
   result.completed = state.informed_count == n;
   result.spread_time = result.completed ? tau : options.time_limit;
   if (options.bound_tracker != nullptr) {
@@ -161,13 +188,7 @@ SpreadResult run_async_jump(DynamicNetwork& net, NodeId source, Rng& rng,
 SpreadResult run_async_tick(DynamicNetwork& net, NodeId source, Rng& rng,
                             const AsyncOptions& options) {
   const NodeId n = net.node_count();
-  DG_REQUIRE(n >= 1, "network must have nodes");
-  DG_REQUIRE(source >= 0 && source < n, "source out of range");
-  DG_REQUIRE(options.clock_rate > 0.0, "clock rate must be positive");
-  DG_REQUIRE(options.time_limit > 0.0, "time limit must be positive");
-  DG_REQUIRE(options.transmission_failure_prob >= 0.0 &&
-                 options.transmission_failure_prob < 1.0,
-             "failure probability must lie in [0, 1)");
+  check_options(n, source, options);
 
   SpreadResult result;
   RunState state;
@@ -184,15 +205,23 @@ SpreadResult run_async_tick(DynamicNetwork& net, NodeId source, Rng& rng,
   std::int64_t t_step = 0;
   const Graph* graph = &net.graph_at(0, view);
   std::uint64_t version = graph->version();
+  CsrView csr = graph->csr();
   if (options.bound_tracker != nullptr) options.bound_tracker->on_step(net.current_profile());
 
   // Superposition: the n independent rate-β clocks tick as one rate-nβ
-  // Poisson process whose marks are uniform over nodes.
-  const double total_rate = static_cast<double>(n) * options.clock_rate;
+  // Poisson process whose marks are uniform over nodes. The inter-tick gaps
+  // come from block draws of unit exponentials scaled by 1/(nβ).
+  const double inv_total_rate = 1.0 / (static_cast<double>(n) * options.clock_rate);
+  ExponentialBlock clocks;
+
+  const bool do_push =
+      options.protocol == Protocol::push || options.protocol == Protocol::push_pull;
+  const bool do_pull =
+      options.protocol == Protocol::pull || options.protocol == Protocol::push_pull;
 
   double tau = 0.0;
   while (state.informed_count < n && tau < options.time_limit) {
-    const double next_tick = tau + sample_exponential(rng, total_rate);
+    const double next_tick = tau + clocks.next(rng) * inv_total_rate;
 
     // Cross all integer boundaries before the tick.
     while (static_cast<double>(t_step) + 1.0 <= next_tick) {
@@ -202,6 +231,7 @@ SpreadResult run_async_tick(DynamicNetwork& net, NodeId source, Rng& rng,
       if (next->version() != version) {
         graph = next;
         version = next->version();
+        csr = graph->csr();
         ++result.graph_changes;
       }
       if (options.bound_tracker != nullptr)
@@ -211,9 +241,10 @@ SpreadResult run_async_tick(DynamicNetwork& net, NodeId source, Rng& rng,
     if (tau >= options.time_limit) break;
 
     const NodeId u = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
-    const auto neighbors = graph->neighbors(u);
-    if (neighbors.empty()) continue;  // isolated node: the call goes nowhere
-    const NodeId v = neighbors[rng.below(neighbors.size())];
+    const NodeId deg = csr.degree(u);
+    if (deg == 0) continue;  // isolated node: the call goes nowhere
+    const NodeId v = csr.adjacency[csr.offsets[u] + static_cast<std::int64_t>(
+                                                        rng.below(static_cast<std::uint64_t>(deg)))];
     ++result.total_contacts;
     if (options.transmission_failure_prob > 0.0 &&
         rng.flip(options.transmission_failure_prob)) {
@@ -222,10 +253,6 @@ SpreadResult run_async_tick(DynamicNetwork& net, NodeId source, Rng& rng,
 
     const bool iu = state.is_informed(u);
     const bool iv = state.is_informed(v);
-    const bool do_push =
-        options.protocol == Protocol::push || options.protocol == Protocol::push_pull;
-    const bool do_pull =
-        options.protocol == Protocol::pull || options.protocol == Protocol::push_pull;
     if (do_push && iu && !iv) {
       state.inform(v);
       ++result.informative_contacts;
@@ -238,7 +265,7 @@ SpreadResult run_async_tick(DynamicNetwork& net, NodeId source, Rng& rng,
   }
 
   result.informed_count = state.informed_count;
-  result.informed_flags = std::move(state.informed);
+  result.informed_flags = state.informed.to_flags();
   result.completed = state.informed_count == n;
   result.spread_time = result.completed ? tau : options.time_limit;
   if (options.bound_tracker != nullptr) {

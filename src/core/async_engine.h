@@ -15,12 +15,16 @@
 //        r(v) = Σ_{u ∈ N(v) ∩ I} [push: β/d_u] + [pull: β/d_v],
 //    the race of independent exponentials over crossing edges (this is the
 //    paper's λ(γ) restricted to v for push_pull). The engine keeps all r(v)
-//    in a Fenwick tree, samples the next infection in O(log n), and — because
-//    exponentials are memoryless — simply resamples whenever it crosses an
-//    integer boundary where the adversary may swap the graph. The informed-set
-//    trajectory has exactly the law of the full process, at
-//    O((n + m)·(#topology changes) + n·log n) cost, independent of T between
-//    changes. The tests validate the equivalence with a two-sample KS test.
+//    in a block-decomposed rate table (stats/block_rates.h) over the graph's
+//    CSR view: informing a node updates each uninformed neighbour's rate in
+//    O(1) with precomputed β/deg weights, the next infection is sampled by
+//    hierarchical scan, and event times come from block-drawn unit
+//    exponentials — because exponentials are memoryless the engine simply
+//    resamples whenever it crosses an integer boundary where the adversary
+//    may swap the graph. The informed-set trajectory has exactly the law of
+//    the full process, at O((n + m)·(#topology changes + 1)) cost,
+//    independent of T between changes. The tests validate the equivalence
+//    with a two-sample KS test.
 #pragma once
 
 #include <cstdint>

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "support/bitset.h"
 #include "support/contracts.h"
 
 namespace rumor {
@@ -17,9 +18,9 @@ SpreadResult run_sync(DynamicNetwork& net, NodeId source, Rng& rng, const SyncOp
              "failure probability must lie in [0, 1)");
 
   SpreadResult result;
-  std::vector<std::uint8_t> informed(static_cast<std::size_t>(n), 0);
+  Bitset informed(static_cast<std::size_t>(n));
   std::int64_t informed_count = 1;
-  informed[static_cast<std::size_t>(source)] = 1;
+  informed.set(static_cast<std::size_t>(source));
   const InformedView view(&informed, &informed_count);
 
   if (options.record_trace) result.trace.push_back({0.0, 1});
@@ -43,27 +44,29 @@ SpreadResult run_sync(DynamicNetwork& net, NodeId source, Rng& rng, const SyncOp
       if (round > 0) ++result.graph_changes;
       version = g.version();
     }
+    const CsrView csr = g.csr();
     if (options.bound_tracker != nullptr) options.bound_tracker->on_step(net.current_profile());
 
     newly.clear();
     for (NodeId u = 0; u < n; ++u) {
-      const auto neighbors = g.neighbors(u);
-      if (neighbors.empty()) continue;
-      const NodeId v = neighbors[rng.below(neighbors.size())];
+      const NodeId deg = csr.degree(u);
+      if (deg == 0) continue;
+      const NodeId v = csr.adjacency[csr.offsets[u] + static_cast<std::int64_t>(rng.below(
+                                                          static_cast<std::uint64_t>(deg)))];
       ++result.total_contacts;
       if (options.transmission_failure_prob > 0.0 &&
           rng.flip(options.transmission_failure_prob)) {
         continue;  // lossy link: the exchange was lost
       }
-      const bool iu = informed[static_cast<std::size_t>(u)] != 0;
-      const bool iv = informed[static_cast<std::size_t>(v)] != 0;
+      const bool iu = informed.test(static_cast<std::size_t>(u));
+      const bool iv = informed.test(static_cast<std::size_t>(v));
       // Exchanges use start-of-round knowledge; duplicates collapse below.
       if (do_push && iu && !iv) newly.push_back(v);
       if (do_pull && iv && !iu) newly.push_back(u);
     }
     for (NodeId w : newly) {
-      if (informed[static_cast<std::size_t>(w)] == 0) {
-        informed[static_cast<std::size_t>(w)] = 1;
+      if (!informed.test(static_cast<std::size_t>(w))) {
+        informed.set(static_cast<std::size_t>(w));
         ++informed_count;
         ++result.informative_contacts;
       }
@@ -73,7 +76,7 @@ SpreadResult run_sync(DynamicNetwork& net, NodeId source, Rng& rng, const SyncOp
   }
 
   result.informed_count = informed_count;
-  result.informed_flags = std::move(informed);
+  result.informed_flags = informed.to_flags();
   result.completed = informed_count == n;
   result.spread_time = static_cast<double>(round);
   if (options.bound_tracker != nullptr) {
@@ -91,33 +94,34 @@ SpreadResult run_flooding(DynamicNetwork& net, NodeId source, const FloodingOpti
   DG_REQUIRE(source >= 0 && source < n, "source out of range");
 
   SpreadResult result;
-  std::vector<std::uint8_t> informed(static_cast<std::size_t>(n), 0);
+  Bitset informed(static_cast<std::size_t>(n));
   std::int64_t informed_count = 1;
-  informed[static_cast<std::size_t>(source)] = 1;
+  informed.set(static_cast<std::size_t>(source));
   const InformedView view(&informed, &informed_count);
 
   if (options.record_trace) result.trace.push_back({0.0, 1});
   std::int64_t round = 0;
   std::vector<NodeId> next;
-  std::vector<std::uint8_t> pending(static_cast<std::size_t>(n), 0);
+  Bitset pending(static_cast<std::size_t>(n));
   for (; round < options.round_limit && informed_count < n; ++round) {
     const Graph& g = net.graph_at(round, view);
+    const CsrView csr = g.csr();
     next.clear();
     // Flooding: every node informed at the START of the round informs all its
     // neighbours; new nodes relay only from the next round on.
     for (NodeId u = 0; u < n; ++u) {
-      if (informed[static_cast<std::size_t>(u)] == 0) continue;
-      for (NodeId v : g.neighbors(u)) {
-        if (informed[static_cast<std::size_t>(v)] == 0 &&
-            pending[static_cast<std::size_t>(v)] == 0) {
-          pending[static_cast<std::size_t>(v)] = 1;
+      if (!informed.test(static_cast<std::size_t>(u))) continue;
+      for (NodeId v : csr.neighbors(u)) {
+        if (!informed.test(static_cast<std::size_t>(v)) &&
+            !pending.test(static_cast<std::size_t>(v))) {
+          pending.set(static_cast<std::size_t>(v));
           next.push_back(v);
         }
       }
     }
     for (NodeId v : next) {
-      informed[static_cast<std::size_t>(v)] = 1;
-      pending[static_cast<std::size_t>(v)] = 0;
+      informed.set(static_cast<std::size_t>(v));
+      pending.clear(static_cast<std::size_t>(v));
     }
     informed_count += static_cast<std::int64_t>(next.size());
     result.informative_contacts += static_cast<std::int64_t>(next.size());
@@ -131,7 +135,7 @@ SpreadResult run_flooding(DynamicNetwork& net, NodeId source, const FloodingOpti
   }
 
   result.informed_count = informed_count;
-  result.informed_flags = std::move(informed);
+  result.informed_flags = informed.to_flags();
   result.completed = informed_count == n;
   result.spread_time = static_cast<double>(round);
   return result;

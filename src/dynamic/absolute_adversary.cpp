@@ -9,7 +9,7 @@
 namespace rumor {
 
 AbsoluteAdversaryNetwork::AbsoluteAdversaryNetwork(NodeId n, double rho, std::uint64_t seed)
-    : n_(n), rho_(rho), rng_(seed) {
+    : n_(n), rho_(rho), rng_(seed), topo_(n) {
   DG_REQUIRE(n >= 64, "adversary needs a reasonably large vertex set");
   DG_REQUIRE(rho > 0.0 && rho <= 1.0, "rho must lie in (0, 1]");
   // Even Δ ∈ {⌈1/ρ⌉, ⌈1/ρ⌉+1}, clamped to >= 4 so the hub construction exists
@@ -53,11 +53,11 @@ void AbsoluteAdversaryNetwork::rebuild(const InformedView* informed) {
   boundary_ = b_side_.front();
   edges.push_back({hub_, boundary_});
 
-  graph_ = Graph(n_, std::move(edges));
+  const Graph& g = topo_.rebuild(std::move(edges));
   ++rebuilds_;
 
-  DG_ENSURE(graph_.degree(hub_) == delta_ + 1, "hub must have degree delta + 1");
-  DG_ENSURE(graph_.degree(boundary_) == delta_ + 1, "boundary must have degree delta + 1");
+  DG_ENSURE(g.degree(hub_) == delta_ + 1, "hub must have degree delta + 1");
+  DG_ENSURE(g.degree(boundary_) == delta_ + 1, "boundary must have degree delta + 1");
 }
 
 const Graph& AbsoluteAdversaryNetwork::graph_at(std::int64_t t, const InformedView& informed) {
@@ -65,12 +65,12 @@ const Graph& AbsoluteAdversaryNetwork::graph_at(std::int64_t t, const InformedVi
   if (t == last_step_ || t == 0) {
     last_step_ = t;
     last_informed_count_ = informed.informed_count();
-    return graph_;
+    return topo_.current();
   }
   last_step_ = t;
 
   // Fast path: nothing newly informed means B cannot have shrunk.
-  if (informed.informed_count() == last_informed_count_) return graph_;
+  if (informed.informed_count() == last_informed_count_) return topo_.current();
   last_informed_count_ = informed.informed_count();
 
   std::vector<NodeId> b_next;
@@ -84,7 +84,7 @@ const Graph& AbsoluteAdversaryNetwork::graph_at(std::int64_t t, const InformedVi
     b_side_ = std::move(b_next);
     rebuild(&informed);
   }
-  return graph_;
+  return topo_.current();
 }
 
 GraphProfile AbsoluteAdversaryNetwork::current_profile() const {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "dynamic/dynamic_network.h"
+#include "graph/topology.h"
 #include "stats/rng.h"
 
 namespace rumor {
@@ -30,7 +31,7 @@ class AbsoluteAdversaryNetwork final : public DynamicNetwork {
 
   NodeId node_count() const override { return n_; }
   const Graph& graph_at(std::int64_t t, const InformedView& informed) override;
-  const Graph& current_graph() const override { return graph_; }
+  const Graph& current_graph() const override { return topo_.current(); }
   GraphProfile current_profile() const override;
   // The rumor starts at the hub of G(A_0, 4, Δ) (a node of the A side).
   NodeId suggested_source() const override { return hub_; }
@@ -52,7 +53,7 @@ class AbsoluteAdversaryNetwork final : public DynamicNetwork {
   Rng rng_;
   std::vector<NodeId> a_side_;
   std::vector<NodeId> b_side_;
-  Graph graph_;
+  TopologyBuilder topo_;
   NodeId hub_ = 0;       // the degree-(Δ+1) node on the A side
   NodeId boundary_ = 0;  // the bridge endpoint on the B side
   std::int64_t last_step_ = -1;

@@ -16,7 +16,7 @@ int default_layer_count(NodeId n) {
 
 DiligentAdversaryNetwork::DiligentAdversaryNetwork(NodeId n, double rho, int k,
                                                    std::uint64_t seed)
-    : n_(n), rho_(rho), rng_(seed) {
+    : n_(n), rho_(rho), rng_(seed), topo_(n) {
   DG_REQUIRE(n >= 64, "adversary needs a reasonably large vertex set");
   DG_REQUIRE(rho > 0.0 && rho <= 1.0, "rho must lie in (0, 1]");
   delta_ = static_cast<NodeId>(std::ceil(1.0 / rho));
@@ -39,7 +39,12 @@ DiligentAdversaryNetwork::DiligentAdversaryNetwork(NodeId n, double rho, int k,
 }
 
 void DiligentAdversaryNetwork::rebuild() {
-  hk_ = build_hk_graph(rng_, n_, a_side_, b_side_, k_, delta_);
+  // Per change-point: regenerate the H_{k,Δ} edge list and materialize the
+  // CSR snapshot through the builder (scratch buffers reused across rebuilds).
+  const Graph& g = topo_.rebuild(build_hk_edges(rng_, a_side_, b_side_, k_, delta_, layout_));
+  for (const auto& cluster : layout_.clusters)
+    for (NodeId u : cluster)
+      DG_ENSURE(g.degree(u) == 2 * delta_, "cluster node degree must be 2*delta");
   ++rebuilds_;
 }
 
@@ -48,13 +53,13 @@ const Graph& DiligentAdversaryNetwork::graph_at(std::int64_t t, const InformedVi
   if (t == last_step_ || t == 0) {
     last_step_ = t;
     last_informed_count_ = informed.informed_count();
-    return hk_.graph;
+    return topo_.current();
   }
   last_step_ = t;
 
   // Fast path: if nothing new was informed since the last step, B cannot have
   // shrunk and the exposed graph stays frozen.
-  if (informed.informed_count() == last_informed_count_) return hk_.graph;
+  if (informed.informed_count() == last_informed_count_) return topo_.current();
   last_informed_count_ = informed.informed_count();
 
   // B_{t+1} = B_t \ I_{t+1}; rebuild only when B shrank and stays >= n/4.
@@ -70,7 +75,7 @@ const Graph& DiligentAdversaryNetwork::graph_at(std::int64_t t, const InformedVi
     b_side_ = std::move(b_next);
     rebuild();
   }
-  return hk_.graph;
+  return topo_.current();
 }
 
 GraphProfile DiligentAdversaryNetwork::current_profile() const {

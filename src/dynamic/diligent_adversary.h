@@ -18,6 +18,7 @@
 
 #include "dynamic/dynamic_network.h"
 #include "graph/hk_graph.h"
+#include "graph/topology.h"
 #include "stats/rng.h"
 
 namespace rumor {
@@ -32,7 +33,7 @@ class DiligentAdversaryNetwork final : public DynamicNetwork {
 
   NodeId node_count() const override { return n_; }
   const Graph& graph_at(std::int64_t t, const InformedView& informed) override;
-  const Graph& current_graph() const override { return hk_.graph; }
+  const Graph& current_graph() const override { return topo_.current(); }
   GraphProfile current_profile() const override;
   // The rumor must start inside A_0 (paper: "we inject a rumor to a node of A_0").
   NodeId suggested_source() const override { return a_side_.front(); }
@@ -54,7 +55,8 @@ class DiligentAdversaryNetwork final : public DynamicNetwork {
   Rng rng_;
   std::vector<NodeId> a_side_;
   std::vector<NodeId> b_side_;
-  HkGraph hk_;
+  HkLayout layout_;
+  TopologyBuilder topo_;
   std::int64_t last_step_ = -1;
   std::int64_t last_informed_count_ = -1;
   std::int64_t rebuilds_ = 0;

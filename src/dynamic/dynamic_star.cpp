@@ -1,22 +1,33 @@
 #include "dynamic/dynamic_star.h"
 
-#include "graph/builders.h"
+#include <vector>
+
 #include "support/contracts.h"
 
 namespace rumor {
 
 DynamicStarNetwork::DynamicStarNetwork(NodeId n_leaves, std::uint64_t seed)
-    : n_total_(n_leaves + 1), rng_(seed) {
+    : n_total_(n_leaves + 1), topo_(n_leaves + 1), rng_(seed) {
   DG_REQUIRE(n_leaves >= 2, "dynamic star needs at least two leaves");
   center_ = 0;
-  graph_ = make_star(n_total_, center_);
+  rebuild_star(center_);
+}
+
+void DynamicStarNetwork::rebuild_star(NodeId center) {
+  // {u, center} for u < center then {center, v} for v > center is already the
+  // normalized lexicographic edge order, so the snapshot costs O(n) flat.
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n_total_) - 1);
+  for (NodeId u = 0; u < center; ++u) edges.push_back({u, center});
+  for (NodeId v = center + 1; v < n_total_; ++v) edges.push_back({center, v});
+  topo_.rebuild_presorted(std::move(edges));
 }
 
 const Graph& DynamicStarNetwork::graph_at(std::int64_t t, const InformedView& informed) {
   DG_REQUIRE(t >= last_step_, "graph_at must be called with non-decreasing t");
   if (t == last_step_ || t == 0) {
     last_step_ = t;
-    return graph_;
+    return topo_.current();
   }
   last_step_ = t;
 
@@ -36,9 +47,9 @@ const Graph& DynamicStarNetwork::graph_at(std::int64_t t, const InformedView& in
   }
   if (new_center != center_) {
     center_ = new_center;
-    graph_ = make_star(n_total_, center_);
+    rebuild_star(center_);
   }
-  return graph_;
+  return topo_.current();
 }
 
 GraphProfile DynamicStarNetwork::current_profile() const {

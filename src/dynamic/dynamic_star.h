@@ -13,6 +13,7 @@
 #pragma once
 
 #include "dynamic/dynamic_network.h"
+#include "graph/topology.h"
 #include "stats/rng.h"
 
 namespace rumor {
@@ -24,7 +25,7 @@ class DynamicStarNetwork final : public DynamicNetwork {
 
   NodeId node_count() const override { return n_total_; }
   const Graph& graph_at(std::int64_t t, const InformedView& informed) override;
-  const Graph& current_graph() const override { return graph_; }
+  const Graph& current_graph() const override { return topo_.current(); }
   GraphProfile current_profile() const override;
   // Paper: "the rumor is injected to an arbitrary leaf node".
   NodeId suggested_source() const override { return 1; }
@@ -33,9 +34,12 @@ class DynamicStarNetwork final : public DynamicNetwork {
   NodeId current_center() const { return center_; }
 
  private:
+  // Star edges for the given centre, already normalized and sorted.
+  void rebuild_star(NodeId center);
+
   NodeId n_total_ = 0;
   NodeId center_ = 0;
-  Graph graph_;
+  TopologyBuilder topo_;
   Rng rng_;
   std::int64_t last_step_ = -1;
 };

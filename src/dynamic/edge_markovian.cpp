@@ -13,9 +13,13 @@ std::uint64_t EdgeMarkovianNetwork::key(NodeId u, NodeId v) {
          static_cast<std::uint32_t>(v);
 }
 
+Edge EdgeMarkovianNetwork::decode(std::uint64_t k) {
+  return {static_cast<NodeId>(k >> 32), static_cast<NodeId>(k & 0xffffffffULL)};
+}
+
 EdgeMarkovianNetwork::EdgeMarkovianNetwork(NodeId n, double p, double q, std::uint64_t seed,
                                            bool start_empty)
-    : n_(n), p_(p), q_(q), rng_(seed) {
+    : n_(n), p_(p), q_(q), rng_(seed), topo_(n) {
   DG_REQUIRE(n >= 2, "need at least two nodes");
   DG_REQUIRE(p > 0.0 && p <= 1.0, "birth probability must lie in (0,1]");
   DG_REQUIRE(q > 0.0 && q <= 1.0, "death probability must lie in (0,1]");
@@ -40,28 +44,33 @@ EdgeMarkovianNetwork::EdgeMarkovianNetwork(NodeId n, double p, double q, std::ui
       }
     }
   }
-  materialize();
-}
-
-void EdgeMarkovianNetwork::materialize() {
   std::vector<Edge> edges;
   edges.reserve(edge_set_.size());
-  for (std::uint64_t k : edge_set_) {
-    edges.push_back({static_cast<NodeId>(k >> 32), static_cast<NodeId>(k & 0xffffffffULL)});
-  }
-  graph_ = Graph(n_, std::move(edges));
+  for (std::uint64_t k : edge_set_) edges.push_back(decode(k));
+  topo_.rebuild(std::move(edges));
 }
 
 void EdgeMarkovianNetwork::evolve() {
-  // Deaths: every current edge survives with probability 1 - q.
+  // Deaths: every current edge survives with probability 1 - q. The survivors
+  // go into a freshly built set (not an in-place erase) so the hash iteration
+  // order — and with it this family's per-seed graph sequence — stays exactly
+  // what it has always been; the deaths double as the removal delta.
+  std::vector<Edge> removed;
   std::unordered_set<std::uint64_t> next;
   next.reserve(edge_set_.size() * 2);
-  for (std::uint64_t k : edge_set_)
-    if (!rng_.flip(q_)) next.insert(k);
+  for (std::uint64_t k : edge_set_) {
+    if (!rng_.flip(q_)) {
+      next.insert(k);
+    } else {
+      removed.push_back(decode(k));
+    }
+  }
 
   // Births: geometric skipping over all non-edges. We enumerate all pairs and
   // skip by Geometric(p); pairs that are currently edges are passed over
-  // (their transition is governed by the death step).
+  // (their transition is governed by the death step). The births are the
+  // addition delta.
+  std::vector<Edge> added;
   const double log1m = std::log1p(-p_);
   const std::int64_t total = static_cast<std::int64_t>(n_) * (n_ - 1) / 2;
   std::int64_t idx = -1;
@@ -77,15 +86,26 @@ void EdgeMarkovianNetwork::evolve() {
         ++u;
       }
       const std::uint64_t k = key(u, static_cast<NodeId>(u + 1 + rem));
-      if (edge_set_.count(k) == 0) next.insert(k);
+      if (edge_set_.count(k) == 0) {
+        next.insert(k);
+        added.push_back(decode(k));
+      }
     }
   } else {
-    for (NodeId u = 0; u < n_; ++u)
-      for (NodeId v = u + 1; v < n_; ++v) next.insert(key(u, v));
+    // p = 1: every pair becomes an edge, overriding this step's deaths, so the
+    // net delta is "add every previous non-edge" and no removals at all.
+    removed.clear();
+    for (NodeId u = 0; u < n_; ++u) {
+      for (NodeId v = u + 1; v < n_; ++v) {
+        const std::uint64_t k = key(u, v);
+        next.insert(k);
+        if (edge_set_.count(k) == 0) added.push_back(decode(k));
+      }
+    }
   }
 
   edge_set_ = std::move(next);
-  materialize();
+  topo_.apply_delta(std::move(removed), std::move(added));
 }
 
 const Graph& EdgeMarkovianNetwork::graph_at(std::int64_t t, const InformedView&) {
@@ -94,7 +114,7 @@ const Graph& EdgeMarkovianNetwork::graph_at(std::int64_t t, const InformedView&)
     if (last_step_ >= 0) evolve();
     ++last_step_;
   }
-  return graph_;
+  return topo_.current();
 }
 
 }  // namespace rumor

@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "dynamic/dynamic_network.h"
+#include "graph/topology.h"
 #include "stats/rng.h"
 
 namespace rumor {
@@ -22,20 +23,20 @@ class EdgeMarkovianNetwork final : public DynamicNetwork {
 
   NodeId node_count() const override { return n_; }
   const Graph& graph_at(std::int64_t t, const InformedView& informed) override;
-  const Graph& current_graph() const override { return graph_; }
+  const Graph& current_graph() const override { return topo_.current(); }
   std::string name() const override { return "edge-markovian"; }
 
  private:
-  void materialize();
   void evolve();
   static std::uint64_t key(NodeId u, NodeId v);
+  static Edge decode(std::uint64_t k);
 
   NodeId n_ = 0;
   double p_ = 0.0;
   double q_ = 0.0;
   Rng rng_;
   std::unordered_set<std::uint64_t> edge_set_;
-  Graph graph_;
+  TopologyBuilder topo_;
   std::int64_t last_step_ = -1;
 };
 

@@ -7,19 +7,21 @@
 namespace rumor {
 
 EdgeSamplingNetwork::EdgeSamplingNetwork(Graph base, double p, std::uint64_t seed)
-    : base_(std::move(base)), p_(p), rng_(seed) {
+    : base_(std::move(base)), p_(p), rng_(seed), topo_(base_.node_count()) {
   DG_REQUIRE(base_.node_count() >= 1, "base graph must have nodes");
   DG_REQUIRE(p > 0.0 && p <= 1.0, "edge probability must lie in (0, 1]");
   resample();
 }
 
 void EdgeSamplingNetwork::resample() {
+  // A subset of the base graph's normalized sorted edge list is itself
+  // normalized and sorted, so the snapshot needs no sorting at all.
   std::vector<Edge> kept;
   kept.reserve(static_cast<std::size_t>(static_cast<double>(base_.edge_count()) * p_) + 8);
   for (const Edge& e : base_.edges()) {
     if (rng_.flip(p_)) kept.push_back(e);
   }
-  current_ = Graph(base_.node_count(), std::move(kept));
+  topo_.rebuild_presorted(std::move(kept));
 }
 
 const Graph& EdgeSamplingNetwork::graph_at(std::int64_t t, const InformedView&) {
@@ -28,7 +30,7 @@ const Graph& EdgeSamplingNetwork::graph_at(std::int64_t t, const InformedView&) 
     ++last_t_;
     if (last_t_ > 0) resample();
   }
-  return current_;
+  return topo_.current();
 }
 
 }  // namespace rumor

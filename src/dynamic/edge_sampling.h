@@ -8,6 +8,7 @@
 #pragma once
 
 #include "dynamic/dynamic_network.h"
+#include "graph/topology.h"
 #include "stats/rng.h"
 
 namespace rumor {
@@ -18,7 +19,7 @@ class EdgeSamplingNetwork final : public DynamicNetwork {
 
   NodeId node_count() const override { return base_.node_count(); }
   const Graph& graph_at(std::int64_t t, const InformedView& informed) override;
-  const Graph& current_graph() const override { return current_; }
+  const Graph& current_graph() const override { return topo_.current(); }
   std::string name() const override { return "edge-sampling"; }
 
   const Graph& base_graph() const { return base_; }
@@ -29,7 +30,7 @@ class EdgeSamplingNetwork final : public DynamicNetwork {
   Graph base_;
   double p_;
   Rng rng_;
-  Graph current_;
+  TopologyBuilder topo_;
   std::int64_t last_t_ = -1;
 };
 

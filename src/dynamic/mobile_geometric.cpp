@@ -17,7 +17,7 @@ double wrap_delta(double a, double b) {
 
 MobileGeometricNetwork::MobileGeometricNetwork(NodeId n, double radius, double step,
                                                std::uint64_t seed)
-    : n_(n), radius_(radius), step_(step), rng_(seed) {
+    : n_(n), radius_(radius), step_(step), rng_(seed), topo_(n) {
   DG_REQUIRE(n >= 2, "need at least two agents");
   DG_REQUIRE(radius > 0.0 && radius < 0.5, "radius must lie in (0, 0.5)");
   DG_REQUIRE(step >= 0.0 && step < 0.5, "step must lie in [0, 0.5)");
@@ -46,7 +46,9 @@ void MobileGeometricNetwork::rebuild() {
   const int cells = std::max(1, static_cast<int>(std::floor(1.0 / radius_)));
   const double cell_size = 1.0 / cells;
   const auto cells_sz = static_cast<std::size_t>(cells);
-  std::vector<std::vector<NodeId>> grid(cells_sz * cells_sz);
+  grid_.resize(cells_sz * cells_sz);
+  for (auto& cell : grid_) cell.clear();
+  auto& grid = grid_;
   auto cell_of = [&](NodeId u) {
     const int cx = std::min(cells - 1, static_cast<int>(x_[static_cast<std::size_t>(u)] / cell_size));
     const int cy = std::min(cells - 1, static_cast<int>(y_[static_cast<std::size_t>(u)] / cell_size));
@@ -78,10 +80,9 @@ void MobileGeometricNetwork::rebuild() {
       }
     }
   }
-  std::sort(edges.begin(), edges.end(),
-            [](const Edge& a, const Edge& b) { return a.u < b.u || (a.u == b.u && a.v < b.v); });
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-  graph_ = Graph(n_, std::move(edges));
+  // Overlapping cell windows (cells < 3) emit the same pair twice; the
+  // builder's counting sort collapses the duplicates.
+  topo_.rebuild(std::move(edges), /*dedupe=*/true);
 }
 
 const Graph& MobileGeometricNetwork::graph_at(std::int64_t t, const InformedView&) {
@@ -93,7 +94,7 @@ const Graph& MobileGeometricNetwork::graph_at(std::int64_t t, const InformedView
     }
     ++last_step_;
   }
-  return graph_;
+  return topo_.current();
 }
 
 }  // namespace rumor

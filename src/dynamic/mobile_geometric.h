@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "dynamic/dynamic_network.h"
+#include "graph/topology.h"
 #include "stats/rng.h"
 
 namespace rumor {
@@ -21,7 +22,7 @@ class MobileGeometricNetwork final : public DynamicNetwork {
 
   NodeId node_count() const override { return n_; }
   const Graph& graph_at(std::int64_t t, const InformedView& informed) override;
-  const Graph& current_graph() const override { return graph_; }
+  const Graph& current_graph() const override { return topo_.current(); }
   std::string name() const override { return "mobile-geometric"; }
 
   const std::vector<double>& xs() const { return x_; }
@@ -36,7 +37,8 @@ class MobileGeometricNetwork final : public DynamicNetwork {
   double step_ = 0.02;
   Rng rng_;
   std::vector<double> x_, y_;
-  Graph graph_;
+  TopologyBuilder topo_;
+  std::vector<std::vector<NodeId>> grid_;  // proximity cells, reused per rebuild
   std::int64_t last_step_ = -1;
 };
 

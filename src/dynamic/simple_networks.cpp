@@ -5,13 +5,17 @@
 namespace rumor {
 
 StaticNetwork::StaticNetwork(Graph g, std::string name)
+    : StaticNetwork(std::make_shared<const Graph>(std::move(g)), std::move(name)) {}
+
+StaticNetwork::StaticNetwork(std::shared_ptr<const Graph> g, std::string name)
     : graph_(std::move(g)), name_(std::move(name)) {
-  DG_REQUIRE(graph_.node_count() >= 1, "static network needs at least one node");
+  DG_REQUIRE(graph_ != nullptr, "static network needs a graph");
+  DG_REQUIRE(graph_->node_count() >= 1, "static network needs at least one node");
 }
 
 const Graph& StaticNetwork::graph_at(std::int64_t t, const InformedView&) {
   DG_REQUIRE(t >= 0, "time steps are non-negative");
-  return graph_;
+  return *graph_;
 }
 
 GraphProfile StaticNetwork::current_profile() const {

@@ -4,6 +4,14 @@
 // networks of the paper expose a *sequence* of Graph values. Each instance
 // carries a process-unique version number so simulation engines can detect "the
 // topology actually changed at this step" with a single integer compare.
+//
+// Construction is O(n + m): edges are normalized and ordered with two stable
+// counting-sort passes (by v, then by u) and the CSR adjacency is filled with
+// two ordered passes (first every neighbour below the node, then every
+// neighbour above it), which leaves each adjacency list sorted without any
+// comparison sort. Dynamic families that rebuild topologies every change-point
+// should go through graph/topology.h's TopologyBuilder, which reuses scratch
+// buffers and supports delta rebuilds against the previous snapshot.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +27,31 @@ struct Edge {
   NodeId v = 0;
   friend bool operator==(const Edge&, const Edge&) = default;
 };
+
+// Borrowed raw view of a graph's CSR arrays, for engine hot loops that want
+// adjacency access without per-call contract checks. Valid as long as the
+// Graph it came from is alive.
+struct CsrView {
+  const std::int64_t* offsets = nullptr;  // size n+1
+  const NodeId* adjacency = nullptr;      // size 2m
+  NodeId n = 0;
+
+  NodeId degree(NodeId u) const {
+    return static_cast<NodeId>(offsets[u + 1] - offsets[u]);
+  }
+  std::span<const NodeId> neighbors(NodeId u) const {
+    return {adjacency + offsets[u], static_cast<std::size_t>(offsets[u + 1] - offsets[u])};
+  }
+};
+
+namespace detail {
+// Stable two-pass counting sort of normalized (u < v) edges into (u, v)
+// lexicographic order: O(n + m), no comparisons. Shared by the Graph
+// constructor and TopologyBuilder (which reuses `tmp`/`count` across
+// rebuilds) so the two construction paths cannot drift apart.
+void radix_sort_edges(NodeId n, std::vector<Edge>& edges, std::vector<Edge>& tmp,
+                      std::vector<std::int64_t>& count);
+}  // namespace detail
 
 class Graph {
  public:
@@ -38,6 +71,9 @@ class Graph {
   // Neighbors of u in ascending order.
   std::span<const NodeId> neighbors(NodeId u) const;
 
+  // Borrowed raw CSR arrays for engine hot paths (no per-call checks).
+  CsrView csr() const { return {offsets_.data(), adjacency_.data(), n_}; }
+
   // Normalized (u < v) edges in lexicographic order.
   const std::vector<Edge>& edges() const { return edges_; }
 
@@ -54,6 +90,16 @@ class Graph {
   std::uint64_t version() const { return version_; }
 
  private:
+  friend class TopologyBuilder;
+
+  // Re-initializes in place from normalized, sorted, duplicate-free edges with
+  // a fresh version; reuses this instance's vector capacity (TopologyBuilder's
+  // double-buffer recycling).
+  void assign_sorted(NodeId n, std::vector<Edge> edges);
+
+  // Shared CSR fill over normalized sorted edges.
+  void build_csr();
+
   NodeId n_ = 0;
   std::vector<Edge> edges_;
   std::vector<std::int64_t> offsets_;  // CSR offsets, size n+1

@@ -7,8 +7,9 @@
 
 namespace rumor {
 
-HkGraph build_hk_graph(Rng& rng, NodeId n_total, const std::vector<NodeId>& a_side,
-                       const std::vector<NodeId>& b_side, int k, NodeId delta) {
+std::vector<Edge> build_hk_edges(Rng& rng, const std::vector<NodeId>& a_side,
+                                 const std::vector<NodeId>& b_side, int k, NodeId delta,
+                                 HkLayout& layout) {
   DG_REQUIRE(delta >= 1, "cluster size must be positive");
   DG_REQUIRE(k >= 1, "need at least one B-side cluster");
   DG_REQUIRE(static_cast<NodeId>(a_side.size()) >= delta + 5,
@@ -16,24 +17,24 @@ HkGraph build_hk_graph(Rng& rng, NodeId n_total, const std::vector<NodeId>& a_si
   DG_REQUIRE(static_cast<NodeId>(b_side.size()) >= static_cast<NodeId>(k) * delta + 5,
              "B side too small: need |B| >= k*delta + 5");
 
-  HkGraph out;
-  out.clusters.resize(static_cast<std::size_t>(k) + 1);
+  layout.clusters.assign(static_cast<std::size_t>(k) + 1, {});
 
   // Clusters: S_0 from A, S_1..S_k from B, taken in the order given.
-  out.clusters[0].assign(a_side.begin(), a_side.begin() + delta);
+  layout.clusters[0].assign(a_side.begin(), a_side.begin() + delta);
   for (int i = 1; i <= k; ++i) {
     const auto begin = b_side.begin() + static_cast<std::ptrdiff_t>(i - 1) * delta;
-    out.clusters[static_cast<std::size_t>(i)].assign(begin, begin + delta);
+    layout.clusters[static_cast<std::size_t>(i)].assign(begin, begin + delta);
   }
-  out.expander_a.assign(a_side.begin() + delta, a_side.end());
-  out.expander_b.assign(b_side.begin() + static_cast<std::ptrdiff_t>(k) * delta, b_side.end());
+  layout.expander_a.assign(a_side.begin() + delta, a_side.end());
+  layout.expander_b.assign(b_side.begin() + static_cast<std::ptrdiff_t>(k) * delta,
+                           b_side.end());
 
   std::vector<Edge> edges;
 
   // 1. String of complete bipartite graphs S_i -- S_{i+1}.
   for (int i = 0; i < k; ++i) {
-    for (NodeId u : out.clusters[static_cast<std::size_t>(i)])
-      for (NodeId v : out.clusters[static_cast<std::size_t>(i) + 1]) edges.push_back({u, v});
+    for (NodeId u : layout.clusters[static_cast<std::size_t>(i)])
+      for (NodeId v : layout.clusters[static_cast<std::size_t>(i) + 1]) edges.push_back({u, v});
   }
 
   // 2. Expanders on the remainders: random 4-regular graphs (expanders whp).
@@ -44,8 +45,8 @@ HkGraph build_hk_graph(Rng& rng, NodeId n_total, const std::vector<NodeId>& a_si
       edges.push_back({members[static_cast<std::size_t>(e.u)],
                        members[static_cast<std::size_t>(e.v)]});
   };
-  add_expander(out.expander_a);
-  add_expander(out.expander_b);
+  add_expander(layout.expander_a);
+  add_expander(layout.expander_b);
 
   // 3. Attach S_0 into G_1 and S_k into G_2: each cluster node gets Δ distinct
   // expander neighbours via a cyclic cursor, so expander degrees grow by at
@@ -63,9 +64,21 @@ HkGraph build_hk_graph(Rng& rng, NodeId n_total, const std::vector<NodeId>& a_si
       }
     }
   };
-  attach(out.clusters.front(), out.expander_a, delta);
-  attach(out.clusters.back(), out.expander_b, delta);
+  attach(layout.clusters.front(), layout.expander_a, delta);
+  attach(layout.clusters.back(), layout.expander_b, delta);
 
+  return edges;
+}
+
+HkGraph build_hk_graph(Rng& rng, NodeId n_total, const std::vector<NodeId>& a_side,
+                       const std::vector<NodeId>& b_side, int k, NodeId delta) {
+  HkLayout layout;
+  std::vector<Edge> edges = build_hk_edges(rng, a_side, b_side, k, delta, layout);
+
+  HkGraph out;
+  out.clusters = std::move(layout.clusters);
+  out.expander_a = std::move(layout.expander_a);
+  out.expander_b = std::move(layout.expander_b);
   out.graph = Graph(n_total, std::move(edges));
 
   // Every cluster node has degree 2Δ: Δ to the neighbouring cluster(s) or the

@@ -19,14 +19,29 @@
 
 namespace rumor {
 
-struct HkGraph {
-  Graph graph;
+// The node-set layout of an H_{k,Δ} instance, separate from its Graph so the
+// adaptive adversary can materialize snapshots through a TopologyBuilder.
+struct HkLayout {
   // clusters[i] is S_i, i = 0..k; clusters[0] ⊂ A.
   std::vector<std::vector<NodeId>> clusters;
   // Members of the two expanders (A \ S_0 and B \ ∪S_i).
   std::vector<NodeId> expander_a;
   std::vector<NodeId> expander_b;
 };
+
+struct HkGraph {
+  Graph graph;
+  std::vector<std::vector<NodeId>> clusters;
+  std::vector<NodeId> expander_a;
+  std::vector<NodeId> expander_b;
+};
+
+// Edge-list half of the construction below: fills `layout` and returns the
+// (unnormalized) edges without building a Graph, so per-change-point callers
+// can hand them to a TopologyBuilder and skip the full construction cost.
+std::vector<Edge> build_hk_edges(Rng& rng, const std::vector<NodeId>& a_side,
+                                 const std::vector<NodeId>& b_side, int k, NodeId delta,
+                                 HkLayout& layout);
 
 // Builds H_{k,Δ}(A, B) over the given node sets (disjoint, union may be a
 // subset of a larger vertex universe — the graph is created on n_total nodes

@@ -1,0 +1,105 @@
+#include "graph/topology.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+namespace {
+
+bool edge_less(const Edge& a, const Edge& b) {
+  return a.u < b.u || (a.u == b.u && a.v < b.v);
+}
+
+void normalize(NodeId n, std::vector<Edge>& edges) {
+  for (auto& e : edges) {
+    DG_REQUIRE(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n, "edge endpoint out of range");
+    DG_REQUIRE(e.u != e.v, "self-loops are not allowed in a simple graph");
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+}
+
+}  // namespace
+
+TopologyBuilder::TopologyBuilder(NodeId n) : n_(n) {
+  DG_REQUIRE(n >= 0, "node count must be non-negative");
+}
+
+const Graph& TopologyBuilder::current() const {
+  DG_REQUIRE(has_snapshot_, "TopologyBuilder has no snapshot yet");
+  return graphs_[live_];
+}
+
+const Graph& TopologyBuilder::install_sorted(std::vector<Edge> edges) {
+  // The slot being overwritten is the snapshot from two rebuilds ago; nobody
+  // may hold a reference to it any more (graph_at's one-step validity
+  // contract), so its vector capacity gets recycled in place.
+  const int next = 1 - live_;
+  graphs_[next].assign_sorted(n_, std::move(edges));
+  live_ = next;
+  has_snapshot_ = true;
+  return graphs_[live_];
+}
+
+const Graph& TopologyBuilder::rebuild(std::vector<Edge> edges, bool dedupe) {
+  normalize(n_, edges);
+  detail::radix_sort_edges(n_, edges, scratch_tmp_, scratch_count_);
+
+  if (dedupe) {
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  } else {
+    for (std::size_t i = 1; i < edges.size(); ++i) {
+      DG_REQUIRE(!(edges[i] == edges[i - 1]), "duplicate edge in a simple graph");
+    }
+  }
+  return install_sorted(std::move(edges));
+}
+
+const Graph& TopologyBuilder::rebuild_presorted(std::vector<Edge> edges) {
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    DG_ASSERT(edges[i].u >= 0 && edges[i].u < edges[i].v && edges[i].v < n_,
+              "presorted edges must be normalized and in range");
+    DG_ASSERT(i == 0 || edge_less(edges[i - 1], edges[i]),
+              "presorted edges must be strictly increasing");
+  }
+#endif
+  return install_sorted(std::move(edges));
+}
+
+const Graph& TopologyBuilder::apply_delta(std::vector<Edge> removed, std::vector<Edge> added) {
+  DG_REQUIRE(has_snapshot_, "apply_delta needs a previous snapshot");
+  normalize(n_, removed);
+  normalize(n_, added);
+  std::sort(removed.begin(), removed.end(), edge_less);
+  std::sort(added.begin(), added.end(), edge_less);
+  for (std::size_t i = 1; i < removed.size(); ++i)
+    DG_REQUIRE(!(removed[i] == removed[i - 1]), "duplicate edge in removal delta");
+  for (std::size_t i = 1; i < added.size(); ++i)
+    DG_REQUIRE(!(added[i] == added[i - 1]), "duplicate edge in addition delta");
+
+  const std::vector<Edge>& old = current().edges();
+  std::vector<Edge> merged;
+  merged.reserve(old.size() + added.size());
+
+  // Single pass: copy old edges, dropping removals and weaving in additions.
+  std::size_t r = 0;
+  std::size_t a = 0;
+  for (const Edge& e : old) {
+    while (a < added.size() && edge_less(added[a], e)) merged.push_back(added[a++]);
+    DG_REQUIRE(a >= added.size() || !(added[a] == e), "added edge already present");
+    if (r < removed.size() && removed[r] == e) {
+      ++r;
+      continue;
+    }
+    merged.push_back(e);
+  }
+  while (a < added.size()) merged.push_back(added[a++]);
+  DG_REQUIRE(r == removed.size(), "removed edge not present in the current snapshot");
+
+  return install_sorted(std::move(merged));
+}
+
+}  // namespace rumor

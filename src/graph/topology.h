@@ -1,0 +1,70 @@
+// CSR topology snapshots for dynamic networks: build-and-rebuild without the
+// per-change-point allocation and sorting cost of a fresh Graph.
+//
+// Every dynamic family in src/dynamic exposes a *sequence* of immutable Graph
+// snapshots. A TopologyBuilder owns that sequence's construction: it keeps the
+// radix-sort scratch buffers alive across change-points, double-buffers the
+// snapshots (the previous Graph stays valid until the next rebuild, matching
+// the DynamicNetwork::graph_at contract), and offers three entry points on a
+// cost gradient:
+//
+//  * rebuild(edges)            — full rebuild from an arbitrary edge list,
+//                                O(n + m) counting sorts, no comparisons;
+//  * rebuild_presorted(edges)  — the caller guarantees normalized (u < v),
+//                                lexicographically sorted, duplicate-free
+//                                edges (e.g. a filtered subset of another
+//                                graph's edges()); skips sorting entirely;
+//  * apply_delta(rem, add)     — merge the previous snapshot's sorted edge
+//                                list with small sorted removal/addition
+//                                deltas in O(m + |delta|).
+//
+// Each call returns a reference to a fresh immutable Graph with a new
+// version(), so engines' version-compare change detection keeps working.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rumor {
+
+class TopologyBuilder {
+ public:
+  explicit TopologyBuilder(NodeId n);
+
+  NodeId node_count() const { return n_; }
+  bool has_snapshot() const { return has_snapshot_; }
+
+  // The latest snapshot; requires at least one rebuild first.
+  const Graph& current() const;
+
+  // Full rebuild from an unnormalized edge list. With `dedupe` set, duplicate
+  // edges (after normalization) collapse to one instead of being rejected —
+  // for families whose generators can emit the same contact twice.
+  const Graph& rebuild(std::vector<Edge> edges, bool dedupe = false);
+
+  // Rebuild from edges that are already normalized (u < v), sorted
+  // lexicographically, and duplicate-free. O(n + m) with no sorting at all.
+  const Graph& rebuild_presorted(std::vector<Edge> edges);
+
+  // Delta rebuild: remove `removed` from and then insert `added` into the
+  // previous snapshot's edge set. Every removed edge must be present and no
+  // added edge may already exist (after normalization). O(m + |delta| log
+  // |delta|); the bulk of the work is two linear merges.
+  const Graph& apply_delta(std::vector<Edge> removed, std::vector<Edge> added);
+
+ private:
+  const Graph& install_sorted(std::vector<Edge> edges);
+
+  NodeId n_ = 0;
+  bool has_snapshot_ = false;
+  // Double buffer: `graphs_[live_]` is current(); the other slot holds the
+  // previous snapshot (kept alive for borrowed references) and donates its
+  // vector capacity to the next rebuild.
+  Graph graphs_[2];
+  int live_ = 0;
+  std::vector<Edge> scratch_tmp_;
+  std::vector<std::int64_t> scratch_count_;
+};
+
+}  // namespace rumor

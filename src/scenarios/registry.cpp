@@ -36,36 +36,35 @@ NodeId node_param(const ScenarioParams& p, const char* name) {
 
 // --- Static baselines -------------------------------------------------------
 
-NetworkFactory make_static_clique(const ScenarioParams& p) {
-  const NodeId n = node_param(p, "n");
-  return [n](std::uint64_t) {
-    return std::make_unique<StaticNetwork>(make_clique(n), "clique");
+// Deterministic static graphs are seed-independent and immutable: build once
+// at factory creation and alias the snapshot across trials (the per-trial
+// rebuild-and-copy used to dominate large static sweeps).
+NetworkFactory make_shared_static(Graph g, const char* name) {
+  auto shared = std::make_shared<const Graph>(std::move(g));
+  return [shared, name](std::uint64_t) {
+    return std::make_unique<StaticNetwork>(shared, name);
   };
+}
+
+NetworkFactory make_static_clique(const ScenarioParams& p) {
+  return make_shared_static(make_clique(node_param(p, "n")), "clique");
 }
 
 NetworkFactory make_static_star(const ScenarioParams& p) {
-  const NodeId n = node_param(p, "n");
-  return [n](std::uint64_t) { return std::make_unique<StaticNetwork>(make_star(n), "star"); };
+  return make_shared_static(make_star(node_param(p, "n")), "star");
 }
 
 NetworkFactory make_static_cycle(const ScenarioParams& p) {
-  const NodeId n = node_param(p, "n");
-  return [n](std::uint64_t) { return std::make_unique<StaticNetwork>(make_cycle(n), "cycle"); };
+  return make_shared_static(make_cycle(node_param(p, "n")), "cycle");
 }
 
 NetworkFactory make_static_hypercube(const ScenarioParams& p) {
-  const int dims = static_cast<int>(p.integer("dims"));
-  return [dims](std::uint64_t) {
-    return std::make_unique<StaticNetwork>(make_hypercube(dims), "hypercube");
-  };
+  return make_shared_static(make_hypercube(static_cast<int>(p.integer("dims"))), "hypercube");
 }
 
 NetworkFactory make_static_torus(const ScenarioParams& p) {
-  const NodeId rows = node_param(p, "rows");
-  const NodeId cols = node_param(p, "cols");
-  return [rows, cols](std::uint64_t) {
-    return std::make_unique<StaticNetwork>(make_torus_grid(rows, cols), "torus");
-  };
+  return make_shared_static(make_torus_grid(node_param(p, "rows"), node_param(p, "cols")),
+                            "torus");
 }
 
 NetworkFactory make_static_expander(const ScenarioParams& p) {

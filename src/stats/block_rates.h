@@ -1,0 +1,118 @@
+// Block-decomposed non-negative rate table with O(1) point update and
+// inverse-CDF sampling by hierarchical linear scan.
+//
+// The jump engine's replacement for a Fenwick tree on its hottest operation:
+// informing a node touches every uninformed neighbour's rate, and a Fenwick
+// update costs O(log n) cache-missing tree hops per touch, so a clique trial
+// pays O(n² log n). Here an update is three contiguous-array adds (entry,
+// 64-entry block, 4096-entry superblock) and a running total — O(1) — while
+// sampling degrades to O(n/4096 + 128) sequential scans that the prefetcher
+// loves. Totals are maintained incrementally; assign() recomputes them
+// exactly, and the engines re-assign at every topology change, which bounds
+// floating-point drift between rebuilds. sample() clamps rounding spill-over
+// to the last positive-rate entry, mirroring FenwickTree::sample.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+class BlockRates {
+ public:
+  explicit BlockRates(std::size_t size = 0) { reset(size); }
+
+  // Re-initializes to `size` zero rates.
+  void reset(std::size_t size) {
+    n_ = size;
+    rate_.assign(size, 0.0);
+    block_.assign((size + kBlock - 1) / kBlock, 0.0);
+    super_.assign((size + kSuper - 1) / kSuper, 0.0);
+    total_ = 0.0;
+  }
+
+  // Builds from explicit rates with exactly recomputed sums, O(n).
+  void assign(std::span<const double> rates) {
+    n_ = rates.size();
+    rate_.assign(rates.begin(), rates.end());
+    block_.assign((n_ + kBlock - 1) / kBlock, 0.0);
+    super_.assign((n_ + kSuper - 1) / kSuper, 0.0);
+    total_ = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      DG_REQUIRE(rate_[i] >= 0.0, "rates must be non-negative");
+      block_[i / kBlock] += rate_[i];
+    }
+    for (std::size_t b = 0; b < block_.size(); ++b) super_[b / kBlock] += block_[b];
+    for (double s : super_) total_ += s;
+  }
+
+  std::size_t size() const { return n_; }
+  double total() const { return total_; }
+
+  double value(std::size_t i) const {
+    DG_REQUIRE(i < n_, "rate index out of range");
+    return rate_[i];
+  }
+
+  // Adds delta to rate i; the result is clamped at zero (absorbing the same
+  // accumulated float error FenwickTree::add tolerates).
+  void add(std::size_t i, double delta) {
+    DG_ASSERT(i < n_, "rate index out of range");
+    const double next = rate_[i] + delta;
+    if (next < 0.0) delta = -rate_[i];  // clamp: apply the same delta everywhere
+    rate_[i] += delta;
+    if (rate_[i] < 0.0) rate_[i] = 0.0;
+    block_[i / kBlock] += delta;
+    super_[i / kSuper] += delta;
+    total_ += delta;
+    if (total_ < 0.0) total_ = 0.0;
+  }
+
+  // Sets rate i to zero (a node got informed).
+  void clear(std::size_t i) {
+    DG_ASSERT(i < n_, "rate index out of range");
+    add(i, -rate_[i]);
+  }
+
+  // Smallest index whose prefix sum exceeds `target`, for target uniform on
+  // [0, total()). Zero-rate entries are never returned for in-range targets;
+  // rounding spill-over falls back to the last positive-rate entry.
+  std::size_t sample(double target) const {
+    DG_REQUIRE(n_ > 0, "cannot sample from an empty rate table");
+    DG_REQUIRE(target >= 0.0, "sampling target must be non-negative");
+    std::size_t s = 0;
+    while (s + 1 < super_.size() && super_[s] <= target) target -= super_[s++];
+    std::size_t b = s * kBlock;
+    const std::size_t b_end = std::min(b + kBlock, block_.size());
+    while (b + 1 < b_end && block_[b] <= target) target -= block_[b++];
+    std::size_t i = b * kBlock;
+    const std::size_t i_end = std::min(i + kBlock, n_);
+    while (i + 1 < i_end && rate_[i] <= target) target -= rate_[i++];
+    if (rate_[i] <= 0.0) {
+      // Rounding spill-over: fall back to the last positive-rate entry.
+      std::size_t j = i;
+      while (j > 0) {
+        --j;
+        if (rate_[j] > 0.0) return j;
+      }
+      DG_ASSERT(false, "sampled from an all-zero rate table");
+    }
+    return i;
+  }
+
+ private:
+  static constexpr std::size_t kBlock = 64;            // entries per block
+  static constexpr std::size_t kSuper = kBlock * 64;   // entries per superblock
+
+  std::size_t n_ = 0;
+  std::vector<double> rate_;   // raw rates
+  std::vector<double> block_;  // per-64 sums
+  std::vector<double> super_;  // per-4096 sums
+  double total_ = 0.0;
+};
+
+}  // namespace rumor

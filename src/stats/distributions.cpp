@@ -11,6 +11,18 @@ double sample_exponential(Rng& rng, double rate) {
   return -std::log(rng.uniform_positive()) / rate;
 }
 
+ExponentialBlock::ExponentialBlock(std::size_t block) : block_(block) {
+  DG_REQUIRE(block >= 1, "block size must be positive");
+  buf_.reserve(block);
+}
+
+void ExponentialBlock::refill(Rng& rng) {
+  buf_.resize(block_);
+  for (double& e : buf_) e = rng.uniform_positive();
+  for (double& e : buf_) e = -std::log(e);
+  pos_ = 0;
+}
+
 namespace {
 
 std::int64_t poisson_knuth(Rng& rng, double mean) {

@@ -3,7 +3,9 @@
 // (Theorem 1.7(iii) proof), and binomials for the synchronous analysis.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "stats/rng.h"
 
@@ -11,6 +13,34 @@ namespace rumor {
 
 // Exponential(rate): inverse-CDF sampling. rate must be > 0.
 double sample_exponential(Rng& rng, double rate);
+
+// Unit-rate exponential clock variates drawn in blocks.
+//
+// The async engines consume one exponential per event; drawing them a block at
+// a time turns the per-event uniform+log into a tight refill loop the compiler
+// can pipeline. Determinism contract: a refill draws `block` uniforms from the
+// caller's Rng in sequence and next() hands them back in that same order, so
+// the variate *stream* is identical to per-event sample_exponential(rng, 1.0)
+// calls — only the interleaving with other draws from the same Rng shifts,
+// which is why the jump/tick engines' per-seed trajectories changed (and their
+// spread-time distributions provably did not; see the KS tests).
+class ExponentialBlock {
+ public:
+  explicit ExponentialBlock(std::size_t block = 128);
+
+  // Next unit-rate exponential variate; refills from `rng` when empty.
+  double next(Rng& rng) {
+    if (pos_ == buf_.size()) refill(rng);
+    return buf_[pos_++];
+  }
+
+ private:
+  void refill(Rng& rng);
+
+  std::vector<double> buf_;
+  std::size_t pos_ = 0;
+  std::size_t block_ = 0;
+};
 
 // Poisson(mean): Knuth's product method for small means, the PTRS
 // transformed-rejection sampler (Hörmann 1993) for large means.

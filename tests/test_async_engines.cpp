@@ -215,6 +215,25 @@ TEST_P(EngineEquivalence, JumpMatchesTickDistribution) {
 
 INSTANTIATE_TEST_SUITE_P(Graphs, EngineEquivalence, ::testing::Range(0, 6));
 
+TEST(EngineEquivalence, JumpMatchesPreRefactorRecordedDistribution) {
+  // Cross-refactor sanity: the per-seed trajectories of the async engines were
+  // allowed to change (block-drawn clocks reorder the RNG stream), but the
+  // spread-time *distribution* must not. The reference sample is the
+  // pre-refactor engine's recorded BENCH_2.json trials for async-jump on
+  // static_clique n=256 (seed 1, 10 trials), frozen here verbatim.
+  const std::vector<double> pre_refactor = {
+      8.244548858085217, 6.162888587947781, 6.454928795005191, 6.633982225177367,
+      4.807547022202194, 5.140242787187914, 5.942428926801744, 7.018030607886415,
+      6.025763183953023, 4.620905068664178};
+  const Graph g = make_clique(256);
+  std::vector<double> current;
+  for (std::uint64_t seed = 1; seed <= 400; ++seed) {
+    current.push_back(jump_once(g, 0, seed).spread_time);
+  }
+  const auto ks = ks_two_sample(pre_refactor, current);
+  EXPECT_GT(ks.p_value, 0.001) << "KS statistic " << ks.statistic;
+}
+
 TEST(EngineEquivalence, DynamicStarJumpMatchesTick) {
   // Equivalence must also hold across graph switches (adaptive network).
   const int trials = 100;

@@ -1,0 +1,159 @@
+// BlockRates (the jump engine's O(1)-update rate table), the Bitset informed
+// set, and the block-drawn exponential clocks.
+//
+// BlockRates must be a drop-in behavioural replacement for FenwickTree on the
+// operations the jump engine uses: same inverse-CDF sampling semantics (the
+// smallest index whose prefix sum exceeds the target, zero-weight entries
+// never returned), same clamping of accumulated float error. The equivalence
+// tests drive both structures through identical random workloads and compare
+// every answer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/block_rates.h"
+#include "stats/distributions.h"
+#include "stats/fenwick.h"
+#include "stats/rng.h"
+#include "support/bitset.h"
+
+namespace rumor {
+namespace {
+
+TEST(BlockRates_, AssignAndTotal) {
+  BlockRates r;
+  r.assign(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.total(), 6.0);
+  EXPECT_DOUBLE_EQ(r.value(1), 2.0);
+}
+
+TEST(BlockRates_, SampleSelectsByPrefixSum) {
+  BlockRates r;
+  r.assign(std::vector<double>{1.0, 0.0, 2.0, 3.0});
+  EXPECT_EQ(r.sample(0.0), 0u);
+  EXPECT_EQ(r.sample(0.999), 0u);
+  EXPECT_EQ(r.sample(1.0), 2u);  // index 1 has zero weight and is skipped
+  EXPECT_EQ(r.sample(2.999), 2u);
+  EXPECT_EQ(r.sample(3.0), 3u);
+  EXPECT_EQ(r.sample(5.999), 3u);
+}
+
+TEST(BlockRates_, AddAndClearTrackTotals) {
+  BlockRates r(10);
+  r.add(4, 2.5);
+  r.add(9, 1.5);
+  EXPECT_DOUBLE_EQ(r.total(), 4.0);
+  r.clear(4);
+  EXPECT_DOUBLE_EQ(r.value(4), 0.0);
+  EXPECT_DOUBLE_EQ(r.total(), 1.5);
+  EXPECT_EQ(r.sample(0.7), 9u);
+}
+
+TEST(BlockRates_, NegativeClampMatchesFenwick) {
+  BlockRates r(4);
+  r.add(2, 1.0);
+  r.add(2, -1.5);  // over-subtraction clamps to zero, like FenwickTree::add
+  EXPECT_DOUBLE_EQ(r.value(2), 0.0);
+  EXPECT_GE(r.total(), 0.0);
+}
+
+// The jump-engine workload, mirrored into a FenwickTree: random assigns,
+// clears, neighbour adds, and samples must agree everywhere — across sizes
+// that cover one block, several blocks, and several superblocks.
+TEST(BlockRates_, MatchesFenwickOnRandomWorkloads) {
+  for (const std::size_t n : {5u, 64u, 100u, 5000u}) {
+    Rng rng(1234 + n);
+    std::vector<double> init(n);
+    for (auto& w : init) w = rng.flip(0.3) ? 0.0 : rng.uniform() * 3.0;
+
+    BlockRates blocks;
+    blocks.assign(init);
+    FenwickTree fenwick;
+    fenwick.assign(init);
+
+    for (int op = 0; op < 2000; ++op) {
+      const auto i = static_cast<std::size_t>(rng.below(n));
+      switch (rng.below(3)) {
+        case 0:
+          blocks.clear(i);
+          fenwick.set(i, 0.0);
+          break;
+        case 1: {
+          const double delta = rng.uniform() * 0.5;
+          blocks.add(i, delta);
+          fenwick.add(i, delta);
+          break;
+        }
+        case 2: {
+          ASSERT_NEAR(blocks.total(), fenwick.total(), 1e-9 * (1.0 + fenwick.total()));
+          // Sub-epsilon totals are pure accumulated drift over all-zero
+          // values; both structures would hit their spill-over fallback.
+          if (fenwick.total() <= 1e-9) break;
+          const double target = rng.uniform() * std::min(blocks.total(), fenwick.total());
+          EXPECT_EQ(blocks.sample(target), fenwick.sample(target)) << "n=" << n;
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(Bitset_, SetTestClearCount) {
+  Bitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_FALSE(b.test(0));
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_EQ(b.count(), 3u);
+  b.clear(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bitset_, SetAllKeepsTailExact) {
+  Bitset b(70);
+  b.set_all();
+  EXPECT_EQ(b.count(), 70u);
+  const auto flags = b.to_flags();
+  ASSERT_EQ(flags.size(), 70u);
+  for (auto f : flags) EXPECT_EQ(f, 1);
+}
+
+TEST(Bitset_, ToFlagsRoundTrip) {
+  Bitset b(10);
+  b.set(2);
+  b.set(7);
+  const auto flags = b.to_flags();
+  const std::vector<std::uint8_t> expected = {0, 0, 1, 0, 0, 0, 0, 1, 0, 0};
+  EXPECT_EQ(flags, expected);
+}
+
+// Determinism contract of the batched clocks: the variate stream is exactly
+// the per-event sample_exponential(rng, 1.0) stream for the same seed —
+// blocking only changes *when* the underlying uniforms are consumed.
+TEST(ExponentialBlock_, StreamMatchesPerEventDraws) {
+  Rng batched_rng(42);
+  Rng direct_rng(42);
+  ExponentialBlock clocks(128);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_DOUBLE_EQ(clocks.next(batched_rng), sample_exponential(direct_rng, 1.0)) << i;
+  }
+}
+
+TEST(ExponentialBlock_, ProducesUnitMean) {
+  Rng rng(7);
+  ExponentialBlock clocks;
+  double sum = 0.0;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) sum += clocks.next(rng);
+  EXPECT_NEAR(sum / draws, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace rumor

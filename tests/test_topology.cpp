@@ -1,0 +1,255 @@
+// TopologyBuilder and CSR-snapshot integrity tests.
+//
+// The heart of this suite is the cross-family property test the engine
+// overhaul leans on: for every dynamic family, across 100 change-points, the
+// CSR snapshot handed out by graph_at must equal a naive adjacency rebuild
+// from the edge list — same degrees, same sorted neighbour lists, same raw
+// CSR view. This pins the TopologyBuilder fast paths (radix rebuilds, delta
+// merges, presorted installs) to the semantics of the original
+// comparison-sorted construction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "dynamic/absolute_adversary.h"
+#include "dynamic/clique_bridge.h"
+#include "dynamic/diligent_adversary.h"
+#include "dynamic/dynamic_star.h"
+#include "dynamic/edge_markovian.h"
+#include "dynamic/edge_sampling.h"
+#include "dynamic/intermittent.h"
+#include "dynamic/mobile_geometric.h"
+#include "dynamic/simple_networks.h"
+#include "graph/builders.h"
+#include "graph/random_graphs.h"
+#include "graph/topology.h"
+#include "support/bitset.h"
+
+namespace rumor {
+namespace {
+
+// Naive reference: adjacency lists rebuilt from the edge list with plain
+// comparison sorts, the way Graph did it before the radix/CSR overhaul.
+std::vector<std::vector<NodeId>> naive_adjacency(const Graph& g) {
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(g.node_count()));
+  for (const Edge& e : g.edges()) {
+    adj[static_cast<std::size_t>(e.u)].push_back(e.v);
+    adj[static_cast<std::size_t>(e.v)].push_back(e.u);
+  }
+  for (auto& list : adj) std::sort(list.begin(), list.end());
+  return adj;
+}
+
+void expect_csr_matches_naive(const Graph& g) {
+  const auto naive = naive_adjacency(g);
+  const CsrView csr = g.csr();
+  ASSERT_EQ(csr.n, g.node_count());
+  std::int64_t degree_sum = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto& expected = naive[static_cast<std::size_t>(u)];
+    // Duplicate edges would show up as repeated entries here.
+    ASSERT_TRUE(std::adjacent_find(expected.begin(), expected.end()) == expected.end())
+        << "duplicate edge at node " << u;
+    const auto got = g.neighbors(u);
+    ASSERT_EQ(got.size(), expected.size()) << "degree mismatch at node " << u;
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), expected.begin()))
+        << "neighbour list mismatch at node " << u;
+    EXPECT_EQ(g.degree(u), static_cast<NodeId>(expected.size()));
+    EXPECT_EQ(csr.degree(u), g.degree(u));
+    const auto raw = csr.neighbors(u);
+    EXPECT_TRUE(std::equal(raw.begin(), raw.end(), got.begin()));
+    degree_sum += static_cast<std::int64_t>(expected.size());
+  }
+  EXPECT_EQ(degree_sum, g.volume());
+  // Normalized edges must be strictly increasing lexicographically.
+  const auto& edges = g.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_LT(edges[i].u, edges[i].v);
+    if (i > 0) {
+      EXPECT_TRUE(edges[i - 1].u < edges[i].u ||
+                  (edges[i - 1].u == edges[i].u && edges[i - 1].v < edges[i].v));
+    }
+  }
+}
+
+// Drives a family through `steps` change-points with a growing informed set
+// (so the adaptive adversaries actually rebuild) and checks every snapshot.
+void check_family(DynamicNetwork& net, int steps = 100) {
+  const NodeId n = net.node_count();
+  Bitset informed(static_cast<std::size_t>(n));
+  std::int64_t count = 1;
+  informed.set(static_cast<std::size_t>(net.suggested_source()));
+  const InformedView view(&informed, &count);
+
+  std::uint64_t version = 0;
+  int changes = 0;
+  for (int t = 0; t < steps; ++t) {
+    const Graph& g = net.graph_at(t, view);
+    if (g.version() != version) {
+      version = g.version();
+      ++changes;
+      expect_csr_matches_naive(g);
+    }
+    ASSERT_EQ(g.node_count(), n);
+    // Inform a couple more nodes per step, lowest ids first, mimicking the
+    // monotone informed-set growth of a real run.
+    for (NodeId u = 0; u < n && count < n; ++u) {
+      if (!informed.test(static_cast<std::size_t>(u))) {
+        informed.set(static_cast<std::size_t>(u));
+        ++count;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(changes, 1) << net.name() << " never exposed a snapshot";
+}
+
+TEST(TopologySnapshots, StaticNetworkMatchesNaive) {
+  StaticNetwork net(make_clique(64));
+  check_family(net);
+}
+
+TEST(TopologySnapshots, DynamicStarMatchesNaive) {
+  DynamicStarNetwork net(96, 5);
+  check_family(net);
+}
+
+TEST(TopologySnapshots, CliqueBridgeMatchesNaive) {
+  CliqueBridgeNetwork net(64);
+  check_family(net);
+}
+
+TEST(TopologySnapshots, EdgeMarkovianMatchesNaive) {
+  EdgeMarkovianNetwork net(80, 0.05, 0.3, 11);
+  check_family(net);
+}
+
+TEST(TopologySnapshots, EdgeMarkovianFullBirthMatchesNaive) {
+  // p = 1 exercises the "every pair becomes an edge" delta special case.
+  EdgeMarkovianNetwork net(24, 1.0, 0.5, 11);
+  check_family(net, 10);
+}
+
+TEST(TopologySnapshots, MobileGeometricMatchesNaive) {
+  MobileGeometricNetwork net(80, 0.2, 0.05, 3);
+  check_family(net);
+}
+
+TEST(TopologySnapshots, MobileGeometricWideRadiusMatchesNaive) {
+  // radius > 1/3 forces overlapping cell windows: the duplicate-emitting path.
+  MobileGeometricNetwork net(40, 0.45, 0.1, 3);
+  check_family(net, 25);
+}
+
+TEST(TopologySnapshots, EdgeSamplingMatchesNaive) {
+  Rng rng(9);
+  EdgeSamplingNetwork net(random_connected_regular(rng, 64, 4), 0.4, 21);
+  check_family(net);
+}
+
+TEST(TopologySnapshots, IntermittentMatchesNaive) {
+  Rng rng(9);
+  auto base = std::make_unique<EdgeMarkovianNetwork>(48, 0.05, 0.3, 13);
+  IntermittentNetwork net(std::move(base), 4, 2);
+  check_family(net);
+}
+
+TEST(TopologySnapshots, DiligentAdversaryMatchesNaive) {
+  DiligentAdversaryNetwork net(128, 0.25, 0, 17);
+  check_family(net);
+}
+
+TEST(TopologySnapshots, AbsoluteAdversaryMatchesNaive) {
+  AbsoluteAdversaryNetwork net(128, 0.1, 19);
+  check_family(net);
+}
+
+TEST(TopologySnapshots, PeriodicNetworkMatchesNaive) {
+  PeriodicNetwork net({make_cycle(32), make_clique(32), make_star(32)});
+  check_family(net);
+}
+
+TEST(TopologyBuilder_, RebuildMatchesGraphConstructor) {
+  Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    const Graph reference = erdos_renyi(rng, 40, 0.15);
+    TopologyBuilder topo(40);
+    const Graph& built = topo.rebuild(reference.edges());
+    ASSERT_EQ(built.edge_count(), reference.edge_count());
+    EXPECT_EQ(built.edges(), reference.edges());
+    expect_csr_matches_naive(built);
+  }
+}
+
+TEST(TopologyBuilder_, ApplyDeltaMatchesFullRebuild) {
+  Rng rng(6);
+  TopologyBuilder topo(30);
+  topo.rebuild(erdos_renyi(rng, 30, 0.3).edges());
+  for (int round = 0; round < 100; ++round) {
+    // Random delta: remove a few existing edges, add a few absent ones.
+    const Graph& cur = topo.current();
+    std::vector<Edge> removed, added;
+    for (const Edge& e : cur.edges())
+      if (rng.flip(0.2)) removed.push_back(e);
+    for (NodeId u = 0; u < 30; ++u)
+      for (NodeId v = u + 1; v < 30; ++v)
+        if (!cur.has_edge(u, v) && rng.flip(0.02)) added.push_back({u, v});
+
+    // Reference edge set after the delta.
+    std::vector<Edge> expected;
+    for (const Edge& e : cur.edges())
+      if (std::find(removed.begin(), removed.end(), e) == removed.end())
+        expected.push_back(e);
+    expected.insert(expected.end(), added.begin(), added.end());
+    const Graph reference(30, expected);
+
+    const Graph& next = topo.apply_delta(std::move(removed), std::move(added));
+    EXPECT_EQ(next.edges(), reference.edges());
+    expect_csr_matches_naive(next);
+  }
+}
+
+TEST(TopologyBuilder_, ApplyDeltaValidatesMembership) {
+  TopologyBuilder topo(8);
+  topo.rebuild({{0, 1}, {2, 3}});
+  EXPECT_THROW(topo.apply_delta({{4, 5}}, {}), std::invalid_argument);
+  EXPECT_THROW(topo.apply_delta({}, {{0, 1}}), std::invalid_argument);
+  EXPECT_NO_THROW(topo.apply_delta({{0, 1}}, {{0, 2}}));
+  EXPECT_TRUE(topo.current().has_edge(0, 2));
+  EXPECT_FALSE(topo.current().has_edge(0, 1));
+}
+
+TEST(TopologyBuilder_, RebuildDedupeCollapsesDuplicates) {
+  TopologyBuilder topo(5);
+  const Graph& g = topo.rebuild({{1, 0}, {0, 1}, {2, 4}, {4, 2}, {2, 4}}, /*dedupe=*/true);
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 4));
+  // Without dedupe the same input is a contract violation.
+  TopologyBuilder strict(5);
+  EXPECT_THROW(strict.rebuild({{1, 0}, {0, 1}}), std::invalid_argument);
+}
+
+TEST(TopologyBuilder_, SnapshotsGetFreshVersionsAndPreviousStaysValid) {
+  TopologyBuilder topo(6);
+  const Graph& first = topo.rebuild({{0, 1}});
+  const std::uint64_t v1 = first.version();
+  const std::int64_t m1 = first.edge_count();
+  const Graph& second = topo.rebuild({{0, 1}, {1, 2}});
+  EXPECT_NE(second.version(), v1);
+  // Double buffering: the first snapshot must survive one more rebuild (the
+  // graph_at contract: references stay valid until the *next* call).
+  EXPECT_EQ(first.edge_count(), m1);
+  EXPECT_EQ(topo.current().version(), second.version());
+}
+
+TEST(TopologyBuilder_, CurrentBeforeRebuildThrows) {
+  TopologyBuilder topo(4);
+  EXPECT_FALSE(topo.has_snapshot());
+  EXPECT_THROW(topo.current(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rumor

@@ -27,9 +27,9 @@
 #include "support/json.h"
 #include "support/table.h"
 
-#ifndef RUMOR_BUILD_INFO
-#define RUMOR_BUILD_INFO "unknown"
-#endif
+#include "rumor_build_info.h"  // generated at build time; see tools/CMakeLists.txt
+
+#define RUMOR_BUILD_INFO ::rumor::kRumorBuildInfo
 
 namespace rumor {
 namespace {
