@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# CLI progress-contract smoke: without --progress a run is byte-silent on
+# stderr (million-node sweeps log nothing unless asked), with --progress it
+# emits per-chunk ETA lines on stderr only — stdout's trial records must be
+# byte-identical either way.
+#
+# Usage: scripts/check_cli_progress.sh path/to/rumor_cli
+set -euo pipefail
+cli=${1:?usage: check_cli_progress.sh path/to/rumor_cli}
+
+run_args=(run --scenario static_clique --n 32 --trials 6 --seed 3 --chunk 2 --json)
+
+quiet_err=$("${cli}" "${run_args[@]}" 2>&1 >/dev/null)
+if [ -n "$quiet_err" ]; then
+  echo "expected silent stderr without --progress, got:" >&2
+  echo "$quiet_err" >&2
+  exit 1
+fi
+
+tmp_err=$(mktemp)
+trap 'rm -f "$tmp_err"' EXIT
+plain=$("${cli}" "${run_args[@]}" 2>/dev/null | grep '"record":"trial"')
+with=$("${cli}" "${run_args[@]}" --progress 2>"$tmp_err" | grep '"record":"trial"')
+
+if ! grep -q '^progress \[static_clique\] .*trials.*eta' "$tmp_err"; then
+  echo "expected progress ETA lines on stderr with --progress, got:" >&2
+  cat "$tmp_err" >&2
+  exit 1
+fi
+if [ "$plain" != "$with" ]; then
+  echo "--progress changed stdout trial records" >&2
+  diff <(echo "$plain") <(echo "$with") >&2 || true
+  exit 1
+fi
+
+# Sweep: progress lines carry the cell label and count.
+"${cli}" sweep --scenarios static_clique,dynamic_star --engines async_jump \
+  --sweep n=16,32 --trials 4 --seed 1 --progress --json >/dev/null 2>"$tmp_err"
+if ! grep -q 'cell 4/4' "$tmp_err"; then
+  echo "expected sweep progress to label cells, got:" >&2
+  cat "$tmp_err" >&2
+  exit 1
+fi
+
+echo "progress contract holds: quiet by default, labelled ETA lines opt-in"

@@ -2,22 +2,29 @@
 """Compare two BENCH_*.json snapshots and gate on throughput regressions.
 
 Reads the {"record":"summary"} lines of a baseline and a current snapshot
-(scripts/run_bench.sh output), matches grid cells by their reproducibility
-manifest (scenario, params, engine, protocol, trials, seed, threads — i.e.
-identical work), computes each cell's spread-time throughput (trials /
-elapsed_seconds), and fails when the MEDIAN ratio current/baseline across
-matched cells drops below 1 - max_regression. The median keeps one noisy cell
-on a shared CI runner from failing the gate, while a real engine regression
-moves every cell.
+(scripts/run_bench.sh output), matches grid cells by the work-identifying
+manifest fields — scenario, its resolved params (n and friends), engine,
+protocol, trials, seed, threads — computes each cell's spread-time throughput
+(trials / elapsed_seconds), and fails when the MEDIAN ratio current/baseline
+across matched cells drops below 1 - max_regression. The median keeps one
+noisy cell on a shared CI runner from failing the gate, while a real engine
+regression moves every cell.
+
+Matching is by the named fields only, so snapshots that add new manifest
+columns (e.g. peak_rss_mb telemetry) still pair with older baselines. It is
+also strict the other way: every baseline cell must be matched by the current
+snapshot, otherwise the gate fails listing the missing cells — a renamed or
+dropped cell can never soft-pass by silently shrinking the matched set.
 
 Usage:
   compare_bench.py BASELINE.json CURRENT.json [--max-regression 0.25]
   compare_bench.py --self-test
 
 --self-test proves the gate actually fires: it compares a synthetic snapshot
-with exactly half the baseline throughput (must FAIL) and an identical copy
-(must PASS), exiting non-zero if either behaves wrongly. The CI perf job runs
-it before the real comparison.
+with exactly half the baseline throughput (must FAIL), an identical copy
+(must PASS), and a snapshot missing one baseline cell (must FAIL), exiting
+non-zero if any branch behaves wrongly. The CI perf jobs run it before the
+real comparison.
 """
 
 import argparse
@@ -71,11 +78,21 @@ def compare(baseline, current, max_regression):
         lines.append("%-46s %12.2f %12.2f %8.3f"
                      % (base["label"], base["throughput"], cur["throughput"], ratio))
 
+    # Unmatched baseline cells mean the current snapshot no longer measures
+    # work the gate is supposed to guard; shrinking the matched set must fail
+    # loudly, never soft-pass on the survivors.
+    missing = sorted(set(baseline) - set(current))
+    for key in missing:
+        lines.append("MISSING baseline cell not measured by current: %s"
+                     % baseline[key]["label"])
+
     median_ratio = statistics.median(ratios)
     threshold = 1.0 - max_regression
-    ok = median_ratio >= threshold
-    lines.append("median throughput ratio %.3f over %d cells (threshold %.3f): %s"
-                 % (median_ratio, len(ratios), threshold, "OK" if ok else "REGRESSION"))
+    ok = median_ratio >= threshold and not missing
+    lines.append("median throughput ratio %.3f over %d matched cells, %d baseline "
+                 "cells unmatched (threshold %.3f): %s"
+                 % (median_ratio, len(ratios), len(missing), threshold,
+                    "OK" if ok else "REGRESSION"))
     return ok, lines
 
 
@@ -96,7 +113,21 @@ def self_test(max_regression):
     if not ok_same:
         print("self-test FAILED: identical snapshot failed the gate", file=sys.stderr)
         return 1
-    print("self-test passed: halved throughput fails the gate, identical passes")
+    shrunk = {k: v for k, v in baseline.items() if k != ("b",)}
+    ok_shrunk, _ = compare(baseline, shrunk, max_regression)
+    if ok_shrunk:
+        print("self-test FAILED: a missing baseline cell soft-passed the gate",
+              file=sys.stderr)
+        return 1
+    grown = dict(baseline)
+    grown[("d",)] = {"label": "cell-d", "throughput": 5.0}
+    ok_grown, _ = compare(baseline, grown, max_regression)
+    if not ok_grown:
+        print("self-test FAILED: extra current-only cells failed the gate",
+              file=sys.stderr)
+        return 1
+    print("self-test passed: halved throughput and missing baseline cells fail "
+          "the gate; identical and superset snapshots pass")
     return 0
 
 

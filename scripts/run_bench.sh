@@ -13,6 +13,8 @@
 # Usage: scripts/run_bench.sh [OUTPUT.json]     (default BENCH_3.json)
 #   BUILD_DIR=build-release scripts/run_bench.sh    # alternate build tree
 #   MATRIX=ci scripts/run_bench.sh bench_ci.json    # pinned small CI matrix
+#   MATRIX=scale scripts/run_bench.sh bench_scale.json       # n=10^5 CI smoke
+#   MATRIX=scale-full scripts/run_bench.sh BENCH_4.json      # n=10^6 + curve
 #
 # Successive snapshots (BENCH_2.json, BENCH_3.json, ...) are how scale/speed
 # PRs demonstrate their wins: scripts/compare_bench.py diffs the throughput of
@@ -27,9 +29,17 @@ MATRIX=${MATRIX:-full}
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$BUILD_DIR" --target rumor_cli bench_scenario_matrix -j"$(nproc)"
-# Optional target: only generated when google-benchmark is installed.
-if cmake --build "$BUILD_DIR" --target help 2>/dev/null | grep -q bench_engine_throughput; then
+cmake --build "$BUILD_DIR" --target rumor_cli -j"$(nproc)"
+# Only the full matrix runs the registry-wide bench binary; the CI/scale
+# matrices must work in a tools-only build tree (RUMOR_BUILD_BENCHES=OFF).
+if [ "$MATRIX" = full ]; then
+  cmake --build "$BUILD_DIR" --target bench_scenario_matrix -j"$(nproc)"
+fi
+# Optional target: only generated when google-benchmark is installed, and
+# only worth building for the matrices that run it (the scale matrices skip
+# microbenches entirely).
+if [[ "$MATRIX" != scale* ]] &&
+   cmake --build "$BUILD_DIR" --target help 2>/dev/null | grep -q bench_engine_throughput; then
   cmake --build "$BUILD_DIR" --target bench_engine_throughput -j"$(nproc)"
 fi
 
@@ -65,14 +75,45 @@ case "$MATRIX" in
     "$cli" sweep --scenarios static_clique --engines async_jump,async_tick \
       --sweep n=2048 --trials 15 --seed 1 --threads 1 --json >> "$OUT"
     ;;
+  scale)
+    # Scale-tier CI smoke (the scale-smoke job): one 10^5-node static family
+    # and one 10^5-node dynamic family under the jump engine at threads=4.
+    # A dense graph is physically impossible at this scale (a 10^5-clique's
+    # CSR alone is ~40 GB), so the static cell is the 320x320 torus — shared
+    # immutable snapshot across trials — and the dynamic cell is
+    # edge-Markovian pinned at mean degree 8 (p/(p+q)·n ≈ 8).
+    "$cli" sweep --scenarios static_torus --engines async_jump \
+      --rows 320 --cols 320 \
+      --trials 8 --seed 1 --threads 4 --json >> "$OUT"
+    "$cli" sweep --scenarios edge_markovian --engines async_jump \
+      --sweep n=100000 --p 1.6e-05 --q 0.2 \
+      --trials 8 --seed 1 --threads 4 --json >> "$OUT"
+    ;;
+  scale-full)
+    # The BENCH_4 scale tier: a completed n=10^6 sweep for a static and a
+    # dynamic family, each recorded at threads 1, 2, 4, 8 with identical
+    # seeds — the thread axis is the scaling curve, and because per-trial
+    # streams are counter-based the trial records must be bit-identical
+    # across the four runs of a cell (README "Scaling").
+    for threads in 1 2 4 8; do
+      "$cli" sweep --scenarios static_torus --engines async_jump \
+        --rows 1000 --cols 1000 \
+        --trials 4 --seed 1 --threads "$threads" --json >> "$OUT"
+      "$cli" sweep --scenarios edge_markovian --engines async_jump \
+        --sweep n=1000000 --p 1.6e-06 --q 0.2 \
+        --trials 3 --seed 1 --threads "$threads" --json >> "$OUT"
+    done
+    ;;
   *)
-    echo "unknown MATRIX '$MATRIX' (known: full, ci)" >&2
+    echo "unknown MATRIX '$MATRIX' (known: full, ci, scale, scale-full)" >&2
     exit 2
     ;;
 esac
 
-# google-benchmark microbenches, one JSON-lines record per benchmark.
-if [ -x "$BUILD_DIR/bench/bench_engine_throughput" ]; then
+# google-benchmark microbenches, one JSON-lines record per benchmark. The
+# scale matrices skip them: their cells are macro-scale by construction and
+# the smoke job should spend its minutes on the 10^5-node sweep.
+if [[ "$MATRIX" != scale* ]] && [ -x "$BUILD_DIR/bench/bench_engine_throughput" ]; then
   tmp=$(mktemp)
   trap 'rm -f "$tmp"' EXIT
   "$BUILD_DIR/bench/bench_engine_throughput" \

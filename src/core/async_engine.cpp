@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "core/engine_workspace.h"
 #include "stats/block_rates.h"
 #include "stats/distributions.h"
 #include "support/bitset.h"
@@ -13,26 +14,33 @@ namespace rumor {
 
 namespace {
 
+// Nodes per tile of a parallel rate rebuild; tiles decompose the O(n) phases
+// (winv recompute, gather, table sums) into independent index ranges.
+constexpr NodeId kRebuildTile = 8192;
+// Below this the whole rebuild fits in cache and tiling is pure overhead.
+constexpr NodeId kParallelRebuildMinNodes = 1 << 14;
+
+// Informed-set bookkeeping over a workspace-owned bitset.
 struct RunState {
-  Bitset informed;
+  Bitset* informed = nullptr;
   std::int64_t informed_count = 0;
 
-  void init(NodeId n, NodeId source, const std::vector<NodeId>& extras) {
-    informed.reset(static_cast<std::size_t>(n));
-    informed.set(static_cast<std::size_t>(source));
+  void init(Bitset& bits, NodeId n, NodeId source, const std::vector<NodeId>& extras) {
+    informed = &bits;
+    informed->set(static_cast<std::size_t>(source));
     informed_count = 1;
     for (NodeId u : extras) {
       DG_REQUIRE(u >= 0 && u < n, "extra source out of range");
-      if (!informed.test(static_cast<std::size_t>(u))) {
-        informed.set(static_cast<std::size_t>(u));
+      if (!informed->test(static_cast<std::size_t>(u))) {
+        informed->set(static_cast<std::size_t>(u));
         ++informed_count;
       }
     }
   }
-  bool is_informed(NodeId u) const { return informed.test(static_cast<std::size_t>(u)); }
+  bool is_informed(NodeId u) const { return informed->test(static_cast<std::size_t>(u)); }
   void inform(NodeId u) {
     DG_ASSERT(!is_informed(u), "node informed twice");
-    informed.set(static_cast<std::size_t>(u));
+    informed->set(static_cast<std::size_t>(u));
     ++informed_count;
   }
 };
@@ -54,10 +62,14 @@ SpreadResult run_async_jump(DynamicNetwork& net, NodeId source, Rng& rng,
   const NodeId n = net.node_count();
   check_options(n, source, options);
 
+  EngineWorkspace local_ws;
+  EngineWorkspace& ws = options.workspace != nullptr ? *options.workspace : local_ws;
+  ws.prepare(n);
+
   SpreadResult result;
   RunState state;
-  state.init(n, source, options.extra_sources);
-  const InformedView view(&state.informed, &state.informed_count);
+  state.init(ws.informed, n, source, options.extra_sources);
+  const InformedView view(&ws.informed, &state.informed_count);
 
   if (options.record_trace) result.trace.push_back({0.0, state.informed_count});
   if (n == 1) {
@@ -79,15 +91,14 @@ SpreadResult run_async_jump(DynamicNetwork& net, NodeId source, Rng& rng,
       options.protocol == Protocol::pull || options.protocol == Protocol::push_pull;
   const double pull_scale = do_pull ? 1.0 : 0.0;
 
-  const std::size_t nsz = static_cast<std::size_t>(n);
   CsrView csr;
   // winv[u] = β/deg(u): an informed u pushes across each incident edge at
   // winv[u]; an uninformed u pulls across each incident edge at winv[u]. This
   // is edge_weight of the paper's λ(γ) with the divides hoisted out of the
-  // per-infection loop.
-  std::vector<double> winv(nsz, 0.0);
-  std::vector<double> rate_scratch(nsz, 0.0);
-  BlockRates rates;
+  // per-infection loop. Both arrays live in the workspace arena.
+  const std::span<double> winv = ws.winv;
+  const std::span<double> rate_scratch = ws.rate_scratch;
+  BlockRates& rates = ws.rates;
   ExponentialBlock clocks;
 
   // Per change-point: refresh the CSR view and rebuild r(v) for every
@@ -98,35 +109,80 @@ SpreadResult run_async_jump(DynamicNetwork& net, NodeId source, Rng& rng,
   // instead of O(m). (Right after injection that is the source's degree, not
   // the whole edge set.) Exactly recomputed sums also bound the float drift
   // of the O(1) incremental updates between rebuilds.
+  //
+  // The O(n) phases — winv recompute, the gather over uninformed nodes, and
+  // the rate-table sums — run tiled over the workspace's rebuild pool when
+  // the runner left intra-trial threads for it. Tiling is value-preserving:
+  // every entry is computed by exactly one tile with the same per-entry
+  // summation order as the serial loop, so results are bit-identical for any
+  // rebuild_threads (the scatter walk over a small informed side stays
+  // serial; it touches O(vol(I)) entries in a data-dependent order).
+  const int team = (ws.rebuild_threads > 1 && n >= kParallelRebuildMinNodes)
+                       ? ws.rebuild_threads
+                       : 1;
+  const std::int64_t tiles = (n + kRebuildTile - 1) / kRebuildTile;
+  auto parallel_for = [&](std::int64_t tasks, auto&& fn) {
+    if (team > 1) {
+      ws.rebuild_pool().run(tasks, team, 1,
+                            [&](std::int64_t task, int) { fn(task); });
+    } else {
+      for (std::int64_t task = 0; task < tasks; ++task) fn(task);
+    }
+  };
+
   auto rebuild_topology = [&]() {
     csr = graph->csr();
-    for (std::size_t u = 0; u < nsz; ++u) {
-      const NodeId deg = csr.degree(static_cast<NodeId>(u));
-      winv[u] = deg > 0 ? beta / static_cast<double>(deg) : 0.0;
-    }
-    rate_scratch.assign(nsz, 0.0);
     const bool walk_informed = state.informed_count * 2 <= n;
-    for (NodeId u = 0; u < n; ++u) {
-      if (state.is_informed(u) != walk_informed) continue;
-      const auto uu = static_cast<std::size_t>(u);
+    parallel_for(tiles, [&](std::int64_t tile) {
+      const NodeId begin = static_cast<NodeId>(tile * kRebuildTile);
+      const NodeId end = static_cast<NodeId>(
+          std::min<std::int64_t>(static_cast<std::int64_t>(begin) + kRebuildTile, n));
+      for (NodeId u = begin; u < end; ++u) {
+        const NodeId deg = csr.degree(u);
+        winv[static_cast<std::size_t>(u)] = deg > 0 ? beta / static_cast<double>(deg) : 0.0;
+      }
       if (walk_informed) {
-        const double push_w = do_push ? winv[uu] : 0.0;
+        // The scatter walk below needs zeroed staging; the gather walk
+        // overwrites every entry, so it skips this pass entirely.
+        for (NodeId u = begin; u < end; ++u) rate_scratch[static_cast<std::size_t>(u)] = 0.0;
+      }
+    });
+    if (walk_informed) {
+      for (NodeId u = 0; u < n; ++u) {
+        if (!state.is_informed(u)) continue;
+        const double push_w = do_push ? winv[static_cast<std::size_t>(u)] : 0.0;
         for (NodeId w : csr.neighbors(u)) {
           if (state.is_informed(w)) continue;
           rate_scratch[static_cast<std::size_t>(w)] +=
               push_w + pull_scale * winv[static_cast<std::size_t>(w)];
         }
-      } else {
-        const double pull_w = pull_scale * winv[uu];
-        double r = 0.0;
-        for (NodeId w : csr.neighbors(u)) {
-          if (!state.is_informed(w)) continue;
-          r += (do_push ? winv[static_cast<std::size_t>(w)] : 0.0) + pull_w;
-        }
-        rate_scratch[uu] = r;
       }
+    } else {
+      parallel_for(tiles, [&](std::int64_t tile) {
+        const NodeId begin = static_cast<NodeId>(tile * kRebuildTile);
+        const NodeId end = static_cast<NodeId>(
+            std::min<std::int64_t>(static_cast<std::int64_t>(begin) + kRebuildTile, n));
+        for (NodeId u = begin; u < end; ++u) {
+          const auto uu = static_cast<std::size_t>(u);
+          if (state.is_informed(u)) {
+            rate_scratch[uu] = 0.0;
+            continue;
+          }
+          const double pull_w = pull_scale * winv[uu];
+          double r = 0.0;
+          for (NodeId w : csr.neighbors(u)) {
+            if (!state.is_informed(w)) continue;
+            r += (do_push ? winv[static_cast<std::size_t>(w)] : 0.0) + pull_w;
+          }
+          rate_scratch[uu] = r;
+        }
+      });
     }
-    rates.assign(rate_scratch);
+    if (team > 1) {
+      rates.assign_tiled(rate_scratch, parallel_for);
+    } else {
+      rates.assign(rate_scratch);
+    }
   };
   rebuild_topology();
 
@@ -173,7 +229,7 @@ SpreadResult run_async_jump(DynamicNetwork& net, NodeId source, Rng& rng,
   }
 
   result.informed_count = state.informed_count;
-  result.informed_flags = state.informed.to_flags();
+  result.informed_flags = ws.informed.to_flags();
   result.completed = state.informed_count == n;
   result.spread_time = result.completed ? tau : options.time_limit;
   if (options.bound_tracker != nullptr) {
@@ -190,10 +246,14 @@ SpreadResult run_async_tick(DynamicNetwork& net, NodeId source, Rng& rng,
   const NodeId n = net.node_count();
   check_options(n, source, options);
 
+  EngineWorkspace local_ws;
+  EngineWorkspace& ws = options.workspace != nullptr ? *options.workspace : local_ws;
+  ws.prepare(n);
+
   SpreadResult result;
   RunState state;
-  state.init(n, source, options.extra_sources);
-  const InformedView view(&state.informed, &state.informed_count);
+  state.init(ws.informed, n, source, options.extra_sources);
+  const InformedView view(&ws.informed, &state.informed_count);
 
   if (options.record_trace) result.trace.push_back({0.0, state.informed_count});
   if (n == 1) {
@@ -265,7 +325,7 @@ SpreadResult run_async_tick(DynamicNetwork& net, NodeId source, Rng& rng,
   }
 
   result.informed_count = state.informed_count;
-  result.informed_flags = state.informed.to_flags();
+  result.informed_flags = ws.informed.to_flags();
   result.completed = state.informed_count == n;
   result.spread_time = result.completed ? tau : options.time_limit;
   if (options.bound_tracker != nullptr) {

@@ -37,6 +37,8 @@
 
 namespace rumor {
 
+struct EngineWorkspace;
+
 struct AsyncOptions {
   Protocol protocol = Protocol::push_pull;
   double clock_rate = 1.0;    // β: each node's Poisson tick rate
@@ -53,6 +55,13 @@ struct AsyncOptions {
   // jump engine this is exact Poisson thinning — all informing rates scale by
   // (1 - p) — so the spread-time distribution is that of the lossy process.
   double transmission_failure_prob = 0.0;
+
+  // Reusable per-worker buffers (core/engine_workspace.h). When null the
+  // engine uses a private stack-local workspace; when set, the buffers (and
+  // the workspace's rebuild_threads budget for tiled parallel rate rebuilds)
+  // are reused across trials with zero steady-state allocation. Results are
+  // bit-identical either way.
+  EngineWorkspace* workspace = nullptr;
 };
 
 // Exact event-driven simulation; the engine of choice for experiments.

@@ -4,6 +4,16 @@
 // fresh DynamicNetwork instance; the runner takes a factory, derives one seed
 // per trial (deterministically from the base seed), runs the chosen engine,
 // and aggregates spread times, bound crossings, and completion counts.
+//
+// Execution is chunked over the persistent TrialPool (core/trial_pool.h):
+// per-trial seeds are counter-based (trial i's RNG streams are a pure
+// function of (options.seed, i)), every result lands in an index-addressed
+// slot, and aggregation walks each completed chunk in trial order — so the
+// report is bit-identical for any thread count and any work-stealing
+// schedule. Each pool worker owns an EngineWorkspace reused across its
+// trials (zero steady-state allocation), and when there are more threads
+// than trials the surplus is handed to the engines as intra-trial
+// rebuild_threads for tiled parallel rate rebuilds.
 #pragma once
 
 #include <functional>
@@ -41,9 +51,11 @@ struct RunnerOptions {
   // trajectory values. This caps that continuation.
   std::int64_t bound_continuation_cap = 50'000'000;
 
-  // Worker threads for trial execution. Results are identical to the serial
-  // run for the same seed: each trial derives its own seeds and network from
-  // the factory, and samples are aggregated in trial order.
+  // Worker threads for trial execution. Results are bit-identical to the
+  // serial run for the same seed. Values above `trials` are clamped to the
+  // trial count (the surplus flows into intra-trial tiled rate rebuilds);
+  // values above TrialPool::kMaxThreads are a configuration error and throw
+  // with a message saying so.
   int threads = 1;
 
   // Passed through to the engines: every contact independently fails to
@@ -54,8 +66,27 @@ struct RunnerOptions {
   // Retain every trial's full SpreadResult in RunnerReport::per_trial (in
   // trial order), so drivers can stream per-trial records (JSON lines, CSV)
   // instead of only aggregates. Off by default: the flags/trace vectors make
-  // a SpreadResult O(n) in memory.
+  // a SpreadResult O(n) in memory. Million-node drivers should prefer
+  // trial_sink, which observes the same results chunk by chunk without
+  // retaining them.
   bool keep_per_trial = false;
+
+  // Streaming consumer invoked once per trial, in trial order, as each chunk
+  // of trials completes (on the calling thread). The result reference is
+  // only valid during the call. Composes with keep_per_trial but replaces it
+  // for memory-bounded million-node sweeps.
+  std::function<void(int trial, const SpreadResult& result)> trial_sink;
+
+  // Progress observer invoked after every completed chunk (on the calling
+  // thread) with trials finished so far and the total; drivers map this to
+  // ETA lines on stderr (`rumor_cli --progress`).
+  std::function<void(int done, int total)> progress;
+
+  // Trials per execution chunk; a chunk is dispatched to the pool, then
+  // aggregated/streamed in trial order before the next chunk starts, so at
+  // most `chunk` full SpreadResults are alive at once. 0 = auto
+  // (max(4 x workers, 64)).
+  int chunk_trials = 0;
 };
 
 struct RunnerReport {

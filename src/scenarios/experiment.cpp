@@ -4,6 +4,7 @@
 
 #include "support/contracts.h"
 #include "support/json.h"
+#include "support/resource.h"
 #include "support/table.h"
 #include "support/timer.h"
 
@@ -59,7 +60,7 @@ Protocol parse_protocol(const std::string& name) {
   return Protocol::push_pull;
 }
 
-ExperimentResult run_experiment(const ExperimentConfig& config) {
+ExperimentResult run_experiment(const ExperimentConfig& config, const TrialSink& sink) {
   const ScenarioSpec& spec = require_scenario(config.scenario);
   const ScenarioParams params = ScenarioParams::resolve(spec, config.param_overrides);
 
@@ -68,12 +69,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.params = params.items();
   result.runner = config.runner;
 
+  // The sink observes results as chunks complete, labelled with the resolved
+  // spec/params already present in `result`.
+  RunnerOptions options = config.runner;
+  if (sink) {
+    options.trial_sink = [&result, &sink](int trial, const SpreadResult& r) {
+      sink(result, trial, r);
+    };
+  }
+
   // The timer covers factory creation too: shared-static factories build
   // their one Graph snapshot up front, and that cost belongs in the recorded
   // elapsed_seconds (BENCH snapshots compare builds against each other).
   Timer timer;
   const NetworkFactory factory = spec.make_factory(params);
-  result.report = run_trials(factory, result.runner);
+  result.report = run_trials(factory, options);
   result.elapsed_seconds = timer.seconds();
   return result;
 }
@@ -99,30 +109,31 @@ void write_manifest(JsonWriter& json, const ExperimentResult& result,
   json.field("transmission_failure_prob", opt.transmission_failure_prob);
   json.field("source", static_cast<std::int64_t>(opt.source));
   json.field("build", build_info);
+  json.field("peak_rss_mb", static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0));
   json.end_object();
 }
 
-void emit_json(std::ostream& os, const ExperimentResult& result,
-               const std::string& build_info) {
-  for (std::size_t i = 0; i < result.report.per_trial.size(); ++i) {
-    const SpreadResult& t = result.report.per_trial[i];
-    JsonWriter json(os);
-    json.begin_object()
-        .field("record", "trial")
-        .field("scenario", result.spec->name)
-        .field("trial", static_cast<std::int64_t>(i))
-        .field("completed", t.completed)
-        .field("spread_time", t.spread_time)
-        .field("informed_count", t.informed_count)
-        .field("informative_contacts", t.informative_contacts)
-        .field("total_contacts", t.total_contacts)
-        .field("graph_changes", t.graph_changes)
-        .field("theorem11_crossing", t.theorem11_crossing)
-        .field("theorem13_crossing", t.theorem13_crossing)
-        .end_object();
-    os << '\n';
-  }
+void emit_trial_json(std::ostream& os, const ExperimentResult& result, int trial,
+                     const SpreadResult& r) {
+  JsonWriter json(os);
+  json.begin_object()
+      .field("record", "trial")
+      .field("scenario", result.spec->name)
+      .field("trial", static_cast<std::int64_t>(trial))
+      .field("completed", r.completed)
+      .field("spread_time", r.spread_time)
+      .field("informed_count", r.informed_count)
+      .field("informative_contacts", r.informative_contacts)
+      .field("total_contacts", r.total_contacts)
+      .field("graph_changes", r.graph_changes)
+      .field("theorem11_crossing", r.theorem11_crossing)
+      .field("theorem13_crossing", r.theorem13_crossing)
+      .end_object();
+  os << '\n';
+}
 
+void emit_summary_json(std::ostream& os, const ExperimentResult& result,
+                       const std::string& build_info) {
   JsonWriter json(os);
   json.begin_object().field("record", "summary");
   json.key("manifest");
@@ -138,13 +149,22 @@ void emit_json(std::ostream& os, const ExperimentResult& result,
   os << '\n';
 }
 
+void emit_json(std::ostream& os, const ExperimentResult& result,
+               const std::string& build_info) {
+  for (std::size_t i = 0; i < result.report.per_trial.size(); ++i) {
+    emit_trial_json(os, result, static_cast<int>(i), result.report.per_trial[i]);
+  }
+  emit_summary_json(os, result, build_info);
+}
+
 void emit_csv_header(std::ostream& os) {
   os << "scenario,params,engine,protocol,seed,trial,completed,spread_time,"
         "informative_contacts,total_contacts,graph_changes,"
         "theorem11_crossing,theorem13_crossing\n";
 }
 
-void emit_csv(std::ostream& os, const ExperimentResult& result) {
+void emit_trial_csv(std::ostream& os, const ExperimentResult& result, int trial,
+                    const SpreadResult& r) {
   // Resolved parameters as one semicolon-joined cell (comma-free by
   // construction), so sweep rows from different grid cells stay
   // distinguishable.
@@ -153,13 +173,16 @@ void emit_csv(std::ostream& os, const ExperimentResult& result) {
     if (!params.empty()) params += ';';
     params += name + "=" + value;
   }
+  os << result.spec->name << ',' << params << ',' << to_string(result.runner.engine) << ','
+     << to_string(result.runner.protocol) << ',' << result.runner.seed << ',' << trial << ','
+     << (r.completed ? 1 : 0) << ',' << json_number(r.spread_time) << ','
+     << r.informative_contacts << ',' << r.total_contacts << ',' << r.graph_changes << ','
+     << r.theorem11_crossing << ',' << r.theorem13_crossing << '\n';
+}
+
+void emit_csv(std::ostream& os, const ExperimentResult& result) {
   for (std::size_t i = 0; i < result.report.per_trial.size(); ++i) {
-    const SpreadResult& t = result.report.per_trial[i];
-    os << result.spec->name << ',' << params << ',' << to_string(result.runner.engine) << ','
-       << to_string(result.runner.protocol) << ',' << result.runner.seed << ',' << i << ','
-       << (t.completed ? 1 : 0) << ',' << json_number(t.spread_time) << ','
-       << t.informative_contacts << ',' << t.total_contacts << ',' << t.graph_changes << ','
-       << t.theorem11_crossing << ',' << t.theorem13_crossing << '\n';
+    emit_trial_csv(os, result, static_cast<int>(i), result.report.per_trial[i]);
   }
 }
 

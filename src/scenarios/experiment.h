@@ -34,11 +34,20 @@ struct ExperimentResult {
   double elapsed_seconds = 0.0;
 };
 
+// Per-trial streaming observer: invoked in trial order while the trials run,
+// with the partially filled result (spec/params/runner valid, report not yet)
+// for labelling. Wired to RunnerOptions::trial_sink, so at most one chunk of
+// SpreadResults is ever resident — the memory contract that lets `rumor_cli
+// --json` stream million-node sweeps.
+using TrialSink =
+    std::function<void(const ExperimentResult& partial, int trial, const SpreadResult& r)>;
+
 // Resolves + validates the scenario and runs the trials. Runner options are
-// forwarded verbatim; callers that stream per-trial records (emit_json /
+// forwarded verbatim; callers that buffer per-trial records (emit_json /
 // emit_csv) must set runner.keep_per_trial themselves — it retains O(trials
 // x n) memory, which aggregate-only output (emit_text) never reads.
-ExperimentResult run_experiment(const ExperimentConfig& config);
+// Streaming callers pass a sink instead and leave keep_per_trial off.
+ExperimentResult run_experiment(const ExperimentConfig& config, const TrialSink& sink = {});
 
 // Engine/protocol names as used on the command line (accepts '-' and '_'
 // interchangeably); throws std::invalid_argument with the valid names.
@@ -50,18 +59,31 @@ Protocol parse_protocol(const std::string& name);
 // The reproducibility manifest written into every JSON summary record:
 // scenario + resolved params, engine, protocol, trials, seed, threads, bound
 // tracking, failure probability, and the build identifier handed in by the
-// binary (git describe) — everything needed to reproduce the run bit-for-bit.
+// binary (git describe) — everything needed to reproduce the run bit-for-bit
+// — plus memory telemetry (peak_rss_mb), which like wall-clock timing is
+// reported, not reproduced.
 void write_manifest(JsonWriter& json, const ExperimentResult& result,
                     const std::string& build_info);
 
-// JSON lines: one {"record":"trial",...} per trial, then one
-// {"record":"summary",...} with the manifest and aggregate statistics.
+// One {"record":"trial",...} line; the per-record form the streaming drivers
+// call from a TrialSink.
+void emit_trial_json(std::ostream& os, const ExperimentResult& result, int trial,
+                     const SpreadResult& r);
+
+// One {"record":"summary",...} line with the manifest and aggregates.
+void emit_summary_json(std::ostream& os, const ExperimentResult& result,
+                       const std::string& build_info);
+
+// JSON lines: one {"record":"trial",...} per trial (from the buffered
+// report.per_trial), then the summary record.
 void emit_json(std::ostream& os, const ExperimentResult& result,
                const std::string& build_info);
 
 // CSV: a header plus one row per trial; `with_header` lets sweep drivers
-// emit the header once across cells.
+// emit the header once across cells. emit_trial_csv is the streaming form.
 void emit_csv_header(std::ostream& os);
+void emit_trial_csv(std::ostream& os, const ExperimentResult& result, int trial,
+                    const SpreadResult& r);
 void emit_csv(std::ostream& os, const ExperimentResult& result);
 
 // Human-readable summary table (the default `rumor_cli run` output).

@@ -37,17 +37,27 @@ class BlockRates {
 
   // Builds from explicit rates with exactly recomputed sums, O(n).
   void assign(std::span<const double> rates) {
-    n_ = rates.size();
-    rate_.assign(rates.begin(), rates.end());
-    block_.assign((n_ + kBlock - 1) / kBlock, 0.0);
-    super_.assign((n_ + kSuper - 1) / kSuper, 0.0);
-    total_ = 0.0;
-    for (std::size_t i = 0; i < n_; ++i) {
-      DG_REQUIRE(rate_[i] >= 0.0, "rates must be non-negative");
-      block_[i / kBlock] += rate_[i];
-    }
-    for (std::size_t b = 0; b < block_.size(); ++b) super_[b / kBlock] += block_[b];
-    for (double s : super_) total_ += s;
+    resize_tables(rates.size());
+    fill_tile(rates, 0, n_);
+    finish_assign();
+  }
+
+  // Parallel assign over superblock-aligned tiles. `parallel_for(tiles, fn)`
+  // must invoke fn(tile) once for every tile in [0, tiles), in any order and
+  // on any threads (e.g. TrialPool::run). Bit-identical to assign() for any
+  // tiling: every tile copies a disjoint entry range and sums disjoint
+  // whole blocks/superblocks in index order, and the cross-superblock total
+  // is accumulated serially in index order afterwards. This keeps the
+  // adversaries' large change-point rebuilds off the critical path at scale.
+  template <typename ParallelFor>
+  void assign_tiled(std::span<const double> rates, ParallelFor&& parallel_for) {
+    resize_tables(rates.size());
+    const std::size_t tiles = (n_ + kTile - 1) / kTile;
+    parallel_for(static_cast<std::int64_t>(tiles), [&](std::int64_t tile) {
+      const std::size_t begin = static_cast<std::size_t>(tile) * kTile;
+      fill_tile(rates, begin, std::min(begin + kTile, n_));
+    });
+    finish_assign();
   }
 
   std::size_t size() const { return n_; }
@@ -107,6 +117,37 @@ class BlockRates {
  private:
   static constexpr std::size_t kBlock = 64;            // entries per block
   static constexpr std::size_t kSuper = kBlock * 64;   // entries per superblock
+  static constexpr std::size_t kTile = kSuper * 4;     // entries per rebuild tile
+
+  // Sizes the SoA tables without touching entry values (vector capacity is
+  // reused across trials of the same n).
+  void resize_tables(std::size_t size) {
+    n_ = size;
+    rate_.resize(size);
+    block_.assign((size + kBlock - 1) / kBlock, 0.0);
+    super_.assign((size + kSuper - 1) / kSuper, 0.0);
+    total_ = 0.0;
+  }
+
+  // Copies one entry range and sums its blocks/superblocks. `begin` must be
+  // superblock-aligned so concurrent tiles never share a partial sum.
+  void fill_tile(std::span<const double> rates, std::size_t begin, std::size_t end) {
+    DG_ASSERT(begin % kSuper == 0, "tile start must be superblock-aligned");
+    for (std::size_t i = begin; i < end; ++i) {
+      DG_REQUIRE(rates[i] >= 0.0, "rates must be non-negative");
+      rate_[i] = rates[i];
+      block_[i / kBlock] += rates[i];
+    }
+    for (std::size_t b = begin / kBlock; b < (end + kBlock - 1) / kBlock; ++b) {
+      super_[b / kBlock] += block_[b];
+    }
+  }
+
+  // Serial cross-superblock total, identical summation order for any tiling.
+  void finish_assign() {
+    total_ = 0.0;
+    for (double s : super_) total_ += s;
+  }
 
   std::size_t n_ = 0;
   std::vector<double> rate_;   // raw rates

@@ -1,0 +1,14 @@
+// Process resource telemetry for experiment manifests.
+#pragma once
+
+#include <cstdint>
+
+namespace rumor {
+
+// Peak resident set size of this process in bytes, via getrusage; 0 when the
+// platform does not report it. Monotone over the process lifetime, so a
+// summary recorded after a sweep cell reflects the largest footprint any cell
+// reached so far — telemetry for capacity planning, not a reproducible field.
+std::int64_t peak_rss_bytes();
+
+}  // namespace rumor

@@ -176,13 +176,33 @@ TEST(Runner, ParallelMatchesSerialWithBoundTracking) {
 }
 
 TEST(Runner, MoreThreadsThanTrials) {
+  // Workers are clamped to the trial count (surplus threads feed intra-trial
+  // rebuilds); results must stay identical to the serial run even when the
+  // requested thread count dwarfs the trials.
   RunnerOptions opt;
   opt.trials = 3;
   opt.seed = 5;
   const auto serial = run_trials(clique_factory(12), opt);
-  opt.threads = 8;
-  const auto parallel = run_trials(clique_factory(12), opt);
-  expect_reports_identical(serial, parallel);
+  for (int threads : {8, 64}) {
+    opt.threads = threads;
+    const auto parallel = run_trials(clique_factory(12), opt);
+    expect_reports_identical(serial, parallel);
+  }
+}
+
+TEST(Runner, RejectsAbsurdThreadCounts) {
+  // Beyond the pool cap is a misconfiguration, reported with a helpful
+  // message instead of silently spawning hundreds of idle workers.
+  RunnerOptions opt;
+  opt.trials = 2;
+  opt.threads = 513;
+  try {
+    run_trials(clique_factory(8), opt);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("threads=513"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("512"), std::string::npos);
+  }
 }
 
 TEST(Runner, ParallelWithBoundTracking) {
@@ -232,6 +252,51 @@ TEST(Runner, RejectsZeroThreads) {
   RunnerOptions opt;
   opt.threads = 0;
   EXPECT_THROW(run_trials(clique_factory(4), opt), std::invalid_argument);
+}
+
+TEST(Runner, TrialSinkStreamsInTrialOrder) {
+  RunnerOptions opt;
+  opt.trials = 9;
+  opt.seed = 21;
+  opt.threads = 4;
+  opt.chunk_trials = 2;  // force several chunks
+  opt.keep_per_trial = true;
+  std::vector<int> order;
+  std::vector<double> times;
+  opt.trial_sink = [&](int trial, const SpreadResult& r) {
+    order.push_back(trial);
+    times.push_back(r.spread_time);
+  };
+  const auto report = run_trials(clique_factory(16), opt);
+  ASSERT_EQ(order.size(), 9u);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_DOUBLE_EQ(times[i], report.per_trial[i].spread_time);
+  }
+}
+
+TEST(Runner, ChunkingDoesNotChangeResults) {
+  RunnerOptions opt;
+  opt.trials = 10;
+  opt.seed = 77;
+  opt.threads = 3;
+  const auto whole = run_trials(clique_factory(16), opt);
+  opt.chunk_trials = 3;
+  const auto chunked = run_trials(clique_factory(16), opt);
+  expect_reports_identical(whole, chunked);
+}
+
+TEST(Runner, ProgressReportsEveryChunk) {
+  RunnerOptions opt;
+  opt.trials = 7;
+  opt.chunk_trials = 3;
+  std::vector<std::pair<int, int>> calls;
+  opt.progress = [&](int done, int total) { calls.emplace_back(done, total); };
+  run_trials(clique_factory(8), opt);
+  ASSERT_EQ(calls.size(), 3u);
+  EXPECT_EQ(calls[0], std::make_pair(3, 7));
+  EXPECT_EQ(calls[1], std::make_pair(6, 7));
+  EXPECT_EQ(calls[2], std::make_pair(7, 7));
 }
 
 }  // namespace

@@ -15,17 +15,23 @@
 //   $ rumor_cli run --scenario dynamic_star --n 256 --trials 30 --seed 1 --json
 //   $ rumor_cli sweep --scenarios static_clique,dynamic_star
 //         --engines async_jump,sync --sweep n=128,256 --trials 10 --csv
+#include <algorithm>
+#include <iomanip>
 #include <iostream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/trial_pool.h"
 #include "scenarios/experiment.h"
 #include "support/cli.h"
 #include "support/json.h"
 #include "support/table.h"
+#include "support/timer.h"
 
 #include "rumor_build_info.h"  // generated at build time; see tools/CMakeLists.txt
 
@@ -40,7 +46,7 @@ const std::set<std::string>& reserved_options() {
       "scenario", "scenarios", "engine",      "engines",     "protocol", "protocols",
       "trials",   "seed",      "threads",     "bounds",      "failure",  "clock-rate",
       "time-limit", "round-limit", "source",  "sweep",       "json",     "csv",
-      "markdown", "help",
+      "markdown", "help",      "progress",    "scale",       "chunk",
   };
   return names;
 }
@@ -64,12 +70,21 @@ std::map<std::string, std::string> scenario_overrides(const Cli& cli) {
 }
 
 RunnerOptions runner_options(const Cli& cli) {
+  // The --scale preset sizes a run for large-n sweeps: every hardware thread
+  // by default and fewer (but bigger) trials. Explicit --threads/--trials
+  // always win.
+  const bool scale = cli.get_bool("scale", false);
+  // Clamped to the pool cap so the preset works on >512-thread hosts too.
+  const int hw = std::min(
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency())),
+      TrialPool::kMaxThreads);
   RunnerOptions opt;
   opt.engine = parse_engine(cli.get("engine", "async_jump"));
   opt.protocol = parse_protocol(cli.get("protocol", "push_pull"));
-  opt.trials = static_cast<int>(cli.get_int("trials", 30));
+  opt.trials = static_cast<int>(cli.get_int("trials", scale ? 8 : 30));
   opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  opt.threads = static_cast<int>(cli.get_int("threads", 1));
+  opt.threads = static_cast<int>(cli.get_int("threads", scale ? hw : 1));
+  opt.chunk_trials = static_cast<int>(cli.get_int("chunk", 0));
   opt.clock_rate = cli.get_double("clock-rate", 1.0);
   opt.time_limit = cli.get_double("time-limit", opt.time_limit);
   opt.round_limit = cli.get_int("round-limit", opt.round_limit);
@@ -81,6 +96,41 @@ RunnerOptions runner_options(const Cli& cli) {
     if (cli.get("bounds", "true") != "true") opt.bound_c = cli.get_double("bounds", 1.0);
   }
   return opt;
+}
+
+// Per-chunk progress lines on stderr (opt-in via --progress): trials done,
+// elapsed wall time, and a simple linear ETA, so a million-node sweep is
+// never silent for minutes. stdout stays byte-identical — the smoke tests
+// assert the flag's absence keeps stderr quiet too.
+std::function<void(int, int)> make_progress(const Cli& cli, const std::string& label) {
+  if (!cli.get_bool("progress", false)) return {};
+  auto timer = std::make_shared<Timer>();
+  return [timer, label](int done, int total) {
+    const double elapsed = timer->seconds();
+    const double eta = done > 0 ? elapsed / done * (total - done) : 0.0;
+    std::ostringstream line;
+    line << "progress [" << label << "] " << done << "/" << total << " trials  "
+         << std::fixed << std::setprecision(1) << elapsed << "s elapsed  eta " << eta
+         << "s\n";
+    std::cerr << line.str();
+  };
+}
+
+// The per-trial streaming emitters shared by run and sweep: with --json/--csv
+// records go to stdout as chunks complete, so a sweep never buffers O(trials
+// x n) results. Empty sink for the table outputs (aggregates only).
+TrialSink make_sink(bool json, bool csv) {
+  if (json) {
+    return [](const ExperimentResult& r, int trial, const SpreadResult& t) {
+      emit_trial_json(std::cout, r, trial, t);
+    };
+  }
+  if (csv) {
+    return [](const ExperimentResult& r, int trial, const SpreadResult& t) {
+      emit_trial_csv(std::cout, r, trial, t);
+    };
+  }
+  return {};
 }
 
 std::string params_summary(const ScenarioSpec& spec) {
@@ -146,17 +196,25 @@ int cmd_run(const Cli& cli) {
   config.scenario = cli.get("scenario", "");
   config.param_overrides = scenario_overrides(cli);
   config.runner = runner_options(cli);
-  // Per-trial results are only retained for the streaming outputs; the
-  // default table reads aggregates alone.
-  config.runner.keep_per_trial = cli.get_bool("json", false) || cli.get_bool("csv", false);
+  config.runner.progress = make_progress(cli, config.scenario);
 
-  const ExperimentResult result = run_experiment(config);
-  if (cli.get_bool("json", false)) {
-    emit_json(std::cout, result, RUMOR_BUILD_INFO);
-  } else if (cli.get_bool("csv", false)) {
-    emit_csv_header(std::cout);
-    emit_csv(std::cout, result);
-  } else {
+  // Per-trial records stream through a sink as chunks complete instead of
+  // being buffered in the report, so --json/--csv stay memory-bounded at
+  // million-node scale. Record order on stdout is unchanged: trials in trial
+  // order, then the summary.
+  // Validate up front so a typo'd scenario or parameter leaves stdout empty
+  // (streaming emits during the run, so validation can no longer hide behind
+  // the buffered-output path).
+  ScenarioParams::resolve(require_scenario(config.scenario), config.param_overrides);
+
+  const bool json = cli.get_bool("json", false);
+  const bool csv = cli.get_bool("csv", false);
+  if (csv) emit_csv_header(std::cout);
+
+  const ExperimentResult result = run_experiment(config, make_sink(json, csv));
+  if (json) {
+    emit_summary_json(std::cout, result, RUMOR_BUILD_INFO);
+  } else if (!csv) {
     emit_text(std::cout, result);
   }
   return 0;
@@ -207,10 +265,14 @@ int cmd_sweep(const Cli& cli) {
   Table table({"scenario", sweep_name.empty() ? "-" : sweep_name, "engine", "protocol",
                "completed", "mean", "median", "max", "seconds"});
 
+  const std::size_t cells =
+      scenarios.size() * sweep_values.size() * engines.size() * protocols.size();
+  std::size_t cell = 0;
   for (const std::string& scenario : scenarios) {
     for (const std::string& value : sweep_values) {
       for (const std::string& engine : engines) {
         for (const std::string& protocol : protocols) {
+          ++cell;
           ExperimentConfig config;
           config.scenario = scenario;
           config.param_overrides = scenario_overrides(cli);
@@ -218,14 +280,16 @@ int cmd_sweep(const Cli& cli) {
           config.runner = runner_options(cli);
           config.runner.engine = parse_engine(engine);
           config.runner.protocol = parse_protocol(protocol);
-          config.runner.keep_per_trial = json || csv;
+          std::string label = scenario;
+          if (!sweep_name.empty()) label += " " + sweep_name + "=" + value;
+          label += " " + engine + " cell " + std::to_string(cell) + "/" +
+                   std::to_string(cells);
+          config.runner.progress = make_progress(cli, label);
 
-          const ExperimentResult result = run_experiment(config);
+          const ExperimentResult result = run_experiment(config, make_sink(json, csv));
           if (json) {
-            emit_json(std::cout, result, RUMOR_BUILD_INFO);
-          } else if (csv) {
-            emit_csv(std::cout, result);
-          } else {
+            emit_summary_json(std::cout, result, RUMOR_BUILD_INFO);
+          } else if (!csv) {
             const SampleSet& st = result.report.spread_time;
             table.add_row({scenario, value.empty() ? "-" : value,
                            to_string(config.runner.engine), to_string(config.runner.protocol),
@@ -254,9 +318,16 @@ int usage(std::ostream& os, int code) {
         "            [--protocol push|pull|push_pull] [--trials N] [--seed S]\n"
         "            [--threads T] [--bounds [c]] [--failure p] [--source ID]\n"
         "            [--clock-rate r] [--time-limit T] [--round-limit R]\n"
-        "            [--json | --csv]\n"
+        "            [--json | --csv] [--progress] [--scale] [--chunk C]\n"
         "  sweep     grid of runs: --scenarios a,b --engines e1,e2\n"
-        "            --protocols p1,p2 --sweep param=v1,v2 + run options\n";
+        "            --protocols p1,p2 --sweep param=v1,v2 + run options\n"
+        "\n"
+        "scale-tier options (run and sweep):\n"
+        "  --scale     large-n preset: threads = hardware concurrency, trials 8\n"
+        "              (explicit --threads/--trials win); results are always\n"
+        "              bit-identical to --threads 1\n"
+        "  --progress  per-chunk 'done/total, elapsed, ETA' lines on stderr\n"
+        "  --chunk C   trials aggregated per chunk (memory bound; 0 = auto)\n";
   return code;
 }
 
