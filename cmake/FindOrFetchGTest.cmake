@@ -1,9 +1,17 @@
 # GoogleTest discovery: system package first, then the Debian source tree in
 # /usr/src, then a pinned FetchContent download as the last resort (the only
 # option that needs network access). Defines GTest::gtest_main either way.
-find_package(GTest QUIET)
+#
+# RUMOR_FORCE_FETCH_GTEST skips the prebuilt system package so GoogleTest is
+# compiled with this build's own flags — required whenever the flags change
+# the ABI, e.g. the CI determinism leg that builds against -stdlib=libc++ (a
+# libstdc++-built libgtest would fail to link).
+option(RUMOR_FORCE_FETCH_GTEST "Build GoogleTest from source with this build's flags" OFF)
+if(NOT RUMOR_FORCE_FETCH_GTEST)
+  find_package(GTest QUIET)
+endif()
 if(NOT GTest_FOUND)
-  if(EXISTS /usr/src/googletest/CMakeLists.txt)
+  if(NOT RUMOR_FORCE_FETCH_GTEST AND EXISTS /usr/src/googletest/CMakeLists.txt)
     add_subdirectory(/usr/src/googletest ${CMAKE_BINARY_DIR}/_deps/googletest EXCLUDE_FROM_ALL)
   else()
     include(FetchContent)

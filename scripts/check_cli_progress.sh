@@ -27,6 +27,20 @@ if ! grep -q '^progress \[static_clique\] .*trials.*eta' "$tmp_err"; then
   cat "$tmp_err" >&2
   exit 1
 fi
+# Format contract: done/total, elapsed, cumulative throughput, clamped ETA.
+# Before the first trial lands (or the clock advances) rate and ETA print as
+# "--"; they must never print a fabricated "eta 0.0s".
+fmt='^progress \[[^]]*\] [0-9]+/[0-9]+ trials  [0-9.]+s elapsed  ([0-9.]+ trials/s  eta [0-9.]+s|-- trials/s  eta --)$'
+if grep -vE "$fmt" "$tmp_err" | grep -q .; then
+  echo "progress line format drifted from the contract:" >&2
+  grep -vE "$fmt" "$tmp_err" >&2
+  exit 1
+fi
+if ! grep -qE '[0-9.]+ trials/s' "$tmp_err"; then
+  echo "expected at least one numeric cumulative trials/s rate, got:" >&2
+  cat "$tmp_err" >&2
+  exit 1
+fi
 if [ "$plain" != "$with" ]; then
   echo "--progress changed stdout trial records" >&2
   diff <(echo "$plain") <(echo "$with") >&2 || true

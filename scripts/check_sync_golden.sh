@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Golden regression: the sync engine's per-seed, per-trial results must be
-# bit-identical to the records captured before the CSR/batched-clock engine
-# overhaul (tests/golden/sync_per_trial.jsonl, generated by the pre-refactor
-# build at 86822bb). Catches any accidental change to the sync engine's RNG
-# consumption order or to a dynamic family's per-seed graph sequence.
+# bit-identical to the recorded tests/golden/sync_per_trial.jsonl. Catches
+# any accidental change to the sync engine's RNG consumption order or to a
+# dynamic family's per-seed graph sequence. Provenance: captured by the
+# pre-refactor build at 86822bb, with the edge_markovian records re-captured
+# once in PR 5 when that family adopted the portable tiled sequence contract
+# (docs/ARCHITECTURE.md); every other scenario's records are original.
 #
 # Usage: scripts/check_sync_golden.sh path/to/rumor_cli
 set -euo pipefail

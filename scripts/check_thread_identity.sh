@@ -29,6 +29,13 @@ run_matrix() {  # $1 = thread count, $2 = output file
   "$cli" sweep --scenarios edge_sampling_expander --engines async_jump \
     --sweep n=20000 --d 4 --p 0.5 \
     --trials 2 --seed 9 --threads "$1" --json | grep '"record":"trial"' >> "$2"
+  # Near-stationary edge-Markovian (tiny churn at mean degree 8): the jump
+  # engine takes the O(Δ·deg) delta rate path at quiet change-points, and the
+  # surplus threads drive the family's tiled parallel evolution — both must
+  # leave the records byte-identical to the serial run.
+  "$cli" sweep --scenarios edge_markovian --engines async_jump \
+    --sweep n=40000 --p 2e-08 --q 0.0001 \
+    --trials 2 --seed 9 --threads "$1" --json | grep '"record":"trial"' >> "$2"
 }
 
 run_matrix 1 "$tmp1"
@@ -39,4 +46,4 @@ if ! diff -u "$tmp1" "$tmpN"; then
   exit 1
 fi
 echo "per-trial records byte-identical: threads=1 vs threads=$threads" \
-     "($(wc -l < "$tmp1") trials over 5 cells, incl. a tiled-rebuild cell)"
+     "($(wc -l < "$tmp1") trials over 6 cells, incl. tiled-rebuild and delta-path cells)"

@@ -102,6 +102,11 @@ case "$MATRIX" in
       "$cli" sweep --scenarios edge_markovian --engines async_jump \
         --sweep n=1000000 --p 1.6e-06 --q 0.2 \
         --trials 3 --seed 1 --threads "$threads" --json >> "$OUT"
+      # The PR 5 acceptance cell: mean degree 8 held at q=0.5 — maximum
+      # churn for the tiled evolution (≈4M births+deaths per step).
+      "$cli" sweep --scenarios edge_markovian --engines async_jump \
+        --sweep n=1000000 --p 4e-06 --q 0.5 \
+        --trials 3 --seed 1 --threads "$threads" --json >> "$OUT"
     done
     ;;
   *)

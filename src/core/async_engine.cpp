@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "core/engine_workspace.h"
-#include "stats/block_rates.h"
+#include "core/rate_model.h"
 #include "stats/distributions.h"
 #include "support/bitset.h"
 #include "support/contracts.h"
@@ -14,11 +14,41 @@ namespace rumor {
 
 namespace {
 
-// Nodes per tile of a parallel rate rebuild; tiles decompose the O(n) phases
-// (winv recompute, gather, table sums) into independent index ranges.
-constexpr NodeId kRebuildTile = 8192;
 // Below this the whole rebuild fits in cache and tiling is pure overhead.
 constexpr NodeId kParallelRebuildMinNodes = 1 << 14;
+
+// Lends the workspace's rebuild pool to the dynamic family for its own tiled
+// per-step evolution (DynamicNetwork::set_parallel_evolution), and detaches
+// on scope exit so the borrowed pool pointer can never dangle.
+class PoolEvolutionLease final : public ParallelEvolution {
+ public:
+  PoolEvolutionLease(DynamicNetwork& net, EngineWorkspace& ws, int team) : net_(net) {
+    if (team > 1) {
+      pool_ = &ws.rebuild_pool();
+      team_ = team;
+      net_.set_parallel_evolution(this);
+      attached_ = true;
+    }
+  }
+  ~PoolEvolutionLease() override {
+    if (attached_) net_.set_parallel_evolution(nullptr);
+  }
+  PoolEvolutionLease(const PoolEvolutionLease&) = delete;
+  PoolEvolutionLease& operator=(const PoolEvolutionLease&) = delete;
+
+  void run(std::int64_t tasks, const std::function<void(std::int64_t)>& fn) override {
+    // Chunked claiming keeps the shared-cursor contention negligible when a
+    // family fans out tens of thousands of small tiles.
+    const std::int64_t chunk = std::max<std::int64_t>(1, tasks / (8 * team_));
+    pool_->run(tasks, team_, chunk, [&](std::int64_t task, int) { fn(task); });
+  }
+
+ private:
+  DynamicNetwork& net_;
+  TrialPool* pool_ = nullptr;
+  int team_ = 1;
+  bool attached_ = false;
+};
 
 // Informed-set bookkeeping over a workspace-owned bitset.
 struct RunState {
@@ -89,38 +119,19 @@ SpreadResult run_async_jump(DynamicNetwork& net, NodeId source, Rng& rng,
       options.protocol == Protocol::push || options.protocol == Protocol::push_pull;
   const bool do_pull =
       options.protocol == Protocol::pull || options.protocol == Protocol::push_pull;
-  const double pull_scale = do_pull ? 1.0 : 0.0;
 
-  CsrView csr;
-  // winv[u] = β/deg(u): an informed u pushes across each incident edge at
-  // winv[u]; an uninformed u pulls across each incident edge at winv[u]. This
-  // is edge_weight of the paper's λ(γ) with the divides hoisted out of the
-  // per-infection loop. Both arrays live in the workspace arena.
-  const std::span<double> winv = ws.winv;
-  const std::span<double> rate_scratch = ws.rate_scratch;
-  BlockRates& rates = ws.rates;
   ExponentialBlock clocks;
 
-  // Per change-point: refresh the CSR view and rebuild r(v) for every
-  // uninformed v. Each crossing edge (u ∈ I, w ∉ I) contributes
-  // do_push·winv[u] + do_pull·winv[w] to r(w), and walking either side's
-  // adjacency lists visits every crossing edge exactly once — so the rebuild
-  // walks whichever side holds fewer nodes, O(min(vol(I), vol(V∖I)) + n)
-  // instead of O(m). (Right after injection that is the source's degree, not
-  // the whole edge set.) Exactly recomputed sums also bound the float drift
-  // of the O(1) incremental updates between rebuilds.
-  //
-  // The O(n) phases — winv recompute, the gather over uninformed nodes, and
-  // the rate-table sums — run tiled over the workspace's rebuild pool when
-  // the runner left intra-trial threads for it. Tiling is value-preserving:
-  // every entry is computed by exactly one tile with the same per-entry
-  // summation order as the serial loop, so results are bit-identical for any
-  // rebuild_threads (the scatter walk over a small informed side stays
-  // serial; it touches O(vol(I)) entries in a data-dependent order).
+  // Per change-point the rate model refreshes r(v) for every uninformed v —
+  // a full rebuild walking whichever side of the cut holds less volume, with
+  // the O(n) phases tiled over the workspace's rebuild pool when the runner
+  // left intra-trial threads — or, when the family reports its change as a
+  // small edge delta, an O(Δ·deg) incremental refresh that is bit-identical
+  // to the rebuild by construction (core/rate_model.h has the argument; the
+  // cross-path suite in tests/test_rate_model.cpp asserts it).
   const int team = (ws.rebuild_threads > 1 && n >= kParallelRebuildMinNodes)
                        ? ws.rebuild_threads
                        : 1;
-  const std::int64_t tiles = (n + kRebuildTile - 1) / kRebuildTile;
   auto parallel_for = [&](std::int64_t tasks, auto&& fn) {
     if (team > 1) {
       ws.rebuild_pool().run(tasks, team, 1,
@@ -130,84 +141,36 @@ SpreadResult run_async_jump(DynamicNetwork& net, NodeId source, Rng& rng,
     }
   };
 
-  auto rebuild_topology = [&]() {
-    csr = graph->csr();
-    const bool walk_informed = state.informed_count * 2 <= n;
-    parallel_for(tiles, [&](std::int64_t tile) {
-      const NodeId begin = static_cast<NodeId>(tile * kRebuildTile);
-      const NodeId end = static_cast<NodeId>(
-          std::min<std::int64_t>(static_cast<std::int64_t>(begin) + kRebuildTile, n));
-      for (NodeId u = begin; u < end; ++u) {
-        const NodeId deg = csr.degree(u);
-        winv[static_cast<std::size_t>(u)] = deg > 0 ? beta / static_cast<double>(deg) : 0.0;
-      }
-      if (walk_informed) {
-        // The scatter walk below needs zeroed staging; the gather walk
-        // overwrites every entry, so it skips this pass entirely.
-        for (NodeId u = begin; u < end; ++u) rate_scratch[static_cast<std::size_t>(u)] = 0.0;
-      }
-    });
-    if (walk_informed) {
-      for (NodeId u = 0; u < n; ++u) {
-        if (!state.is_informed(u)) continue;
-        const double push_w = do_push ? winv[static_cast<std::size_t>(u)] : 0.0;
-        for (NodeId w : csr.neighbors(u)) {
-          if (state.is_informed(w)) continue;
-          rate_scratch[static_cast<std::size_t>(w)] +=
-              push_w + pull_scale * winv[static_cast<std::size_t>(w)];
-        }
-      }
-    } else {
-      parallel_for(tiles, [&](std::int64_t tile) {
-        const NodeId begin = static_cast<NodeId>(tile * kRebuildTile);
-        const NodeId end = static_cast<NodeId>(
-            std::min<std::int64_t>(static_cast<std::int64_t>(begin) + kRebuildTile, n));
-        for (NodeId u = begin; u < end; ++u) {
-          const auto uu = static_cast<std::size_t>(u);
-          if (state.is_informed(u)) {
-            rate_scratch[uu] = 0.0;
-            continue;
-          }
-          const double pull_w = pull_scale * winv[uu];
-          double r = 0.0;
-          for (NodeId w : csr.neighbors(u)) {
-            if (!state.is_informed(w)) continue;
-            r += (do_push ? winv[static_cast<std::size_t>(w)] : 0.0) + pull_w;
-          }
-          rate_scratch[uu] = r;
-        }
-      });
-    }
-    if (team > 1) {
-      rates.assign_tiled(rate_scratch, parallel_for);
-    } else {
-      rates.assign(rate_scratch);
-    }
-  };
-  rebuild_topology();
+  RateModel& model = ws.rate_model;
+  RateModel::Config model_config;
+  model_config.beta = beta;
+  model_config.do_push = do_push;
+  model_config.pull_scale = do_pull ? 1.0 : 0.0;
+  model_config.track_dirty = net.reports_deltas();
+  model.begin_trial(ws.arena, ws.informed, n, model_config);
+  model.rebuild(graph->csr(), state.informed_count, parallel_for);
+
+  // Lend the rebuild pool to the family for its own tiled evolution (a no-op
+  // for families without one); revoked when the lease leaves scope.
+  PoolEvolutionLease evolution_lease(net, ws, team);
 
   auto inform_node = [&](NodeId v) {
     state.inform(v);
     ++result.informative_contacts;
-    rates.clear(static_cast<std::size_t>(v));
-    const double push_w = do_push ? winv[static_cast<std::size_t>(v)] : 0.0;
-    for (NodeId w : csr.neighbors(v)) {
-      if (state.is_informed(w)) continue;
-      rates.add(static_cast<std::size_t>(w), push_w + pull_scale * winv[static_cast<std::size_t>(w)]);
-    }
+    model.inform(v);
   };
 
   double tau = 0.0;
   while (state.informed_count < n && tau < options.time_limit) {
     const double boundary = static_cast<double>(t_step) + 1.0;
-    const double lambda = rates.total();
+    const double lambda = model.total();
 
     double next_event = std::numeric_limits<double>::infinity();
     if (lambda > 0.0) next_event = tau + clocks.next(rng) / lambda;
 
     if (next_event < boundary && next_event <= options.time_limit) {
       tau = next_event;
-      const NodeId v = static_cast<NodeId>(rates.sample(rng.uniform() * lambda));
+      const NodeId v = static_cast<NodeId>(model.sample(rng.uniform() * lambda));
       inform_node(v);
       if (options.record_trace) result.trace.push_back({tau, state.informed_count});
       continue;
@@ -223,7 +186,7 @@ SpreadResult run_async_jump(DynamicNetwork& net, NodeId source, Rng& rng,
       graph = next;
       version = next->version();
       ++result.graph_changes;
-      rebuild_topology();
+      model.on_change(graph->csr(), net.last_delta(), state.informed_count, parallel_for);
     }
     if (options.bound_tracker != nullptr) options.bound_tracker->on_step(net.current_profile());
   }
@@ -267,6 +230,13 @@ SpreadResult run_async_tick(DynamicNetwork& net, NodeId source, Rng& rng,
   std::uint64_t version = graph->version();
   CsrView csr = graph->csr();
   if (options.bound_tracker != nullptr) options.bound_tracker->on_step(net.current_profile());
+
+  // The tick engine keeps no rate structures, but the family's own per-step
+  // evolution still profits from the surplus-thread pool.
+  const int evolution_team = (ws.rebuild_threads > 1 && n >= kParallelRebuildMinNodes)
+                                 ? ws.rebuild_threads
+                                 : 1;
+  PoolEvolutionLease evolution_lease(net, ws, evolution_team);
 
   // Superposition: the n independent rate-β clocks tick as one rate-nβ
   // Poisson process whose marks are uniform over nodes. The inter-tick gaps

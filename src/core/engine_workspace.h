@@ -1,39 +1,38 @@
 // Reusable per-worker buffers for the simulation engines.
 //
-// One trial of the jump engine needs an informed bitset, the β/deg weight
-// array, a rate-rebuild scratch array, and the block-decomposed rate table —
-// all O(n). A workspace owns them once per worker: the double arrays are
-// carved from a bump arena (support/arena.h) that reset() rewinds instead of
-// freeing, and the bitset/rate table reuse their vector capacity across
-// prepare() calls, so a worker that runs trial after trial of the same
-// scenario performs zero steady-state heap allocation. The runner keeps one
-// workspace per pool worker; an engine invoked without one falls back to a
-// stack-local workspace, which makes the plumbing optional for tests and
-// examples.
+// One trial of the jump engine needs an informed bitset and the rate model's
+// O(n) arrays (β/deg weights, rebuild staging, the block-decomposed rate
+// table, delta-path dirty marks). A workspace owns them once per worker: the
+// flat arrays are carved from a bump arena (support/arena.h) that reset()
+// rewinds instead of freeing, and the bitset/rate table reuse their vector
+// capacity across prepare() calls, so a worker that runs trial after trial of
+// the same scenario performs zero steady-state heap allocation. The runner
+// keeps one workspace per pool worker; an engine invoked without one falls
+// back to a stack-local workspace, which makes the plumbing optional for
+// tests and examples.
 //
 // Workspaces also carry the intra-trial parallelism budget: rebuild_threads
 // (set by the runner's thread-allocation policy) and a lazily created private
-// TrialPool for tiled rate rebuilds. Tiling never changes results — see
-// "Scale tier" in docs/ARCHITECTURE.md for the bit-identity argument.
+// TrialPool for tiled rate rebuilds and tiled family evolution. Tiling never
+// changes results — see "Scale tier" in docs/ARCHITECTURE.md for the
+// bit-identity argument.
 #pragma once
 
 #include <memory>
 #include <span>
 
+#include "core/rate_model.h"
+#include "core/trial_pool.h"
 #include "graph/graph.h"
-#include "stats/block_rates.h"
 #include "support/arena.h"
 #include "support/bitset.h"
-#include "core/trial_pool.h"
 
 namespace rumor {
 
 struct EngineWorkspace {
   Arena arena;
   Bitset informed;
-  BlockRates rates;
-  std::span<double> winv;          // β/deg per node, arena-backed
-  std::span<double> rate_scratch;  // rebuild staging, arena-backed
+  RateModel rate_model;
 
   // Trial-level parallelism left over for rebuilds inside this worker's
   // trials; 1 = serial rebuilds.
@@ -41,13 +40,12 @@ struct EngineWorkspace {
 
   // Re-carves the arrays for an n-node trial. Spans from the previous trial
   // are invalidated; the arena reuses its chunks, so after the first call
-  // with a given n this allocates nothing.
+  // with a given n this allocates nothing. The rate model's buffers are
+  // carved separately by RateModel::begin_trial (jump engine only — the tick
+  // engine keeps no rates).
   void prepare(NodeId n) {
-    const std::size_t nsz = static_cast<std::size_t>(n);
     arena.reset();
-    winv = arena.make_span<double>(nsz);
-    rate_scratch = arena.make_span<double>(nsz);
-    informed.reset(nsz);
+    informed.reset(static_cast<std::size_t>(n));
   }
 
   // The private pool for tiled rebuilds, created on first use. Distinct from

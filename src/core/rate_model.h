@@ -1,0 +1,315 @@
+// The jump engine's infection-rate state machine, with an incremental
+// change-point tier.
+//
+// A RateModel owns everything r(v)-shaped for one trial of the jump engine:
+// the β/deg edge weights (winv), the block-decomposed rate table
+// (stats/block_rates.h), and the rebuild staging buffer. It exposes the three
+// operations the engine needs — rebuild at a change-point, O(1)-per-neighbour
+// updates when a node is informed, and sampling — and adds the *delta path*:
+// when a dynamic family reports its change-point as a small edge delta
+// (DynamicNetwork::last_delta), the model updates only the entries the delta
+// can affect instead of re-deriving all n rates.
+//
+// The delta path is bit-identical to a full rebuild by construction:
+//
+//  * a changed edge only affects winv of its two endpoints (β/deg is a pure
+//    function of the new degree) and r(v) of the endpoints and their
+//    current neighbours, so recomputing exactly that set from scratch — with
+//    the same per-node summation order as the rebuild's gather loop (the
+//    shared crossing_rate helper below) — reproduces the rebuild's values;
+//  * every entry drifted by the incremental add()/clear() updates since the
+//    last change-point is tracked in a dirty list and recomputed too, which
+//    restores the "assign()-exact" state a full rebuild would establish;
+//  * BlockRates::refresh_entries re-derives every touched block/superblock
+//    sum and the total in assign()'s exact summation order.
+//
+// tests/test_rate_model.cpp diffs the two paths bit for bit at every
+// change-point, across families and tile counts; the crossover constant below
+// is measured, not guessed (see kDeltaCostFactor).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dynamic/dynamic_network.h"
+#include "graph/graph.h"
+#include "stats/block_rates.h"
+#include "support/arena.h"
+#include "support/bitset.h"
+#include "support/contracts.h"
+
+namespace rumor {
+
+// r(v) for an uninformed node v: the race of independent exponentials over
+// its crossing edges, summed in ascending-neighbour (CSR) order. Shared by
+// the rebuild gather loop and the delta path so both accumulate in the same
+// floating-point order — the cornerstone of their bit-identity. (The rebuild
+// scatter walk accumulates per-target in ascending informed-source order,
+// which visits each target's crossing edges in the same ascending order, so
+// all three agree bitwise.)
+inline double crossing_rate(const CsrView& csr, const Bitset& informed,
+                            std::span<const double> winv, bool do_push, double pull_scale,
+                            NodeId v) {
+  const double pull_w = pull_scale * winv[static_cast<std::size_t>(v)];
+  double r = 0.0;
+  for (NodeId w : csr.neighbors(v)) {
+    if (!informed.test(static_cast<std::size_t>(w))) continue;
+    r += (do_push ? winv[static_cast<std::size_t>(w)] : 0.0) + pull_w;
+  }
+  return r;
+}
+
+class RateModel {
+ public:
+  // Nodes per tile of a parallel rebuild; tiles decompose the O(n) phases
+  // (winv recompute, gather, table sums) into independent index ranges.
+  static constexpr NodeId kRebuildTile = 8192;
+
+  // Change-point path choice. `automatic` is the production setting; the two
+  // forced policies exist for the cross-path identity tests and for bench
+  // ablations.
+  enum class DeltaPolicy { automatic, always, never };
+
+  struct Config {
+    double beta = 1.0;        // clock rate scaled by (1 - failure probability)
+    bool do_push = true;      // protocol pushes across crossing edges
+    double pull_scale = 1.0;  // 1.0 when the protocol pulls, else 0.0
+    // Track the dirty set needed by the delta path. Engines enable this only
+    // when the family reports deltas, so non-delta scenarios pay nothing new
+    // on the inform hot path.
+    bool track_dirty = false;
+    DeltaPolicy policy = DeltaPolicy::automatic;
+  };
+
+  // Re-carves the O(n) buffers for a trial. Spans come from the caller's
+  // arena (invalidated by its next reset); the vectors and the rate table
+  // reuse their capacity across trials, so steady-state allocation is zero.
+  void begin_trial(Arena& arena, const Bitset& informed, NodeId n, const Config& config) {
+    n_ = n;
+    informed_ = &informed;
+    config_ = config;
+    const std::size_t nsz = static_cast<std::size_t>(n);
+    winv_ = arena.make_span<double>(nsz);
+    scratch_ = arena.make_span<double>(nsz);
+    dirty_mark_ = arena.make_span<std::uint8_t>(config.track_dirty ? nsz : 0);
+    std::fill(dirty_mark_.begin(), dirty_mark_.end(), std::uint8_t{0});
+    dirty_.clear();
+    delta_updates_ = 0;
+    full_rebuilds_ = 0;
+  }
+
+  const BlockRates& rates() const { return rates_; }
+  double total() const { return rates_.total(); }
+  std::size_t sample(double target) const { return rates_.sample(target); }
+  std::span<const double> winv() const { return winv_; }
+  const CsrView& csr() const { return csr_; }
+
+  // Telemetry for tests and benches: how often each change-point path ran.
+  std::int64_t delta_updates() const { return delta_updates_; }
+  std::int64_t full_rebuilds() const { return full_rebuilds_; }
+
+  // Change-point entry: take the delta path when the family reported one and
+  // the heuristic says it is cheaper, else run the full (possibly tiled)
+  // rebuild. `parallel_for(tasks, fn)` must invoke fn for every task index,
+  // in any order, on any threads. Both paths leave the model in the same
+  // bit-exact state. Returns true when the delta path ran.
+  template <typename ParallelFor>
+  bool on_change(const CsrView& csr, const std::optional<TopologyDelta>& delta,
+                 std::int64_t informed_count, ParallelFor&& parallel_for) {
+    if (delta.has_value() && config_.track_dirty && config_.policy != DeltaPolicy::never &&
+        (config_.policy == DeltaPolicy::always || delta_cheaper(csr, *delta))) {
+      apply_delta(csr, *delta);
+      return true;
+    }
+    rebuild(csr, informed_count, parallel_for);
+    return false;
+  }
+
+  // Full rebuild of winv and every rate at a change-point: O(n) tiled phases
+  // plus a walk of whichever side of the cut holds less volume.
+  template <typename ParallelFor>
+  void rebuild(const CsrView& csr, std::int64_t informed_count, ParallelFor&& parallel_for) {
+    csr_ = csr;
+    ++full_rebuilds_;
+    const NodeId n = n_;
+    const Bitset& informed = *informed_;
+    const bool do_push = config_.do_push;
+    const double pull_scale = config_.pull_scale;
+    const std::int64_t tiles = (n + kRebuildTile - 1) / kRebuildTile;
+    const bool walk_informed = informed_count * 2 <= n;
+    parallel_for(tiles, [&](std::int64_t tile) {
+      const NodeId begin = static_cast<NodeId>(tile * kRebuildTile);
+      const NodeId end = static_cast<NodeId>(
+          std::min<std::int64_t>(static_cast<std::int64_t>(begin) + kRebuildTile, n));
+      for (NodeId u = begin; u < end; ++u) {
+        const NodeId deg = csr.degree(u);
+        winv_[static_cast<std::size_t>(u)] =
+            deg > 0 ? config_.beta / static_cast<double>(deg) : 0.0;
+      }
+      if (walk_informed) {
+        // The scatter walk below needs zeroed staging; the gather walk
+        // overwrites every entry, so it skips this pass entirely.
+        for (NodeId u = begin; u < end; ++u) scratch_[static_cast<std::size_t>(u)] = 0.0;
+      }
+    });
+    if (walk_informed) {
+      for (NodeId u = 0; u < n; ++u) {
+        if (!informed.test(static_cast<std::size_t>(u))) continue;
+        const double push_w = do_push ? winv_[static_cast<std::size_t>(u)] : 0.0;
+        for (NodeId w : csr.neighbors(u)) {
+          if (informed.test(static_cast<std::size_t>(w))) continue;
+          scratch_[static_cast<std::size_t>(w)] +=
+              push_w + pull_scale * winv_[static_cast<std::size_t>(w)];
+        }
+      }
+    } else {
+      parallel_for(tiles, [&](std::int64_t tile) {
+        const NodeId begin = static_cast<NodeId>(tile * kRebuildTile);
+        const NodeId end = static_cast<NodeId>(
+            std::min<std::int64_t>(static_cast<std::int64_t>(begin) + kRebuildTile, n));
+        for (NodeId u = begin; u < end; ++u) {
+          const auto uu = static_cast<std::size_t>(u);
+          scratch_[uu] = informed.test(uu)
+                             ? 0.0
+                             : crossing_rate(csr, informed, winv_, do_push, pull_scale, u);
+        }
+      });
+    }
+    if (tiles > 1) {
+      rates_.assign_tiled(scratch_, parallel_for);
+    } else {
+      rates_.assign(scratch_);
+    }
+    clear_dirty();
+  }
+
+  // A node became informed: zero its own rate and bump each uninformed
+  // neighbour by its crossing-edge weight, O(deg) with O(1) table updates.
+  // The caller must have set the informed bit already.
+  void inform(NodeId v) {
+    DG_ASSERT(informed_->test(static_cast<std::size_t>(v)), "inform() before setting the bit");
+    rates_.clear(static_cast<std::size_t>(v));
+    if (config_.track_dirty) mark_dirty(v);
+    const double push_w = config_.do_push ? winv_[static_cast<std::size_t>(v)] : 0.0;
+    for (NodeId w : csr_.neighbors(v)) {
+      if (informed_->test(static_cast<std::size_t>(w))) continue;
+      rates_.add(static_cast<std::size_t>(w),
+                 push_w + config_.pull_scale * winv_[static_cast<std::size_t>(w)]);
+      if (config_.track_dirty) mark_dirty(w);
+    }
+  }
+
+ private:
+  // Measured crossover between the two change-point paths (Release,
+  // bench/bench_delta_rates.cpp, n = 2^17, mean degree 8): the rebuild costs
+  // ~5-7 ns/node while the delta path costs ~20-100 ns per candidate entry —
+  // worst (~30x the per-node cost) exactly when deltas are small and block
+  // resums and cache misses are unshared, which is the regime the heuristic
+  // must judge. Taking the delta path only while candidates·factor < n makes
+  // it a strict win at the measured worst case and falls back to the rebuild
+  // for step-sized churn (where the bench shows the delta path up to 170x
+  // slower).
+  static constexpr std::int64_t kDeltaCostFactor = 32;
+
+  bool delta_cheaper(const CsrView& csr, const TopologyDelta& delta) const {
+    // Candidate bound: both endpoints of every changed edge plus all their
+    // current neighbours, plus the dirty entries. Degrees come from the new
+    // snapshot; duplicates make this an overestimate, which only ever falls
+    // back to the (always-correct) rebuild too early.
+    std::int64_t candidates = static_cast<std::int64_t>(dirty_.size());
+    for (std::span<const Edge> part : {delta.removed, delta.added}) {
+      for (const Edge& e : part) {
+        candidates += 2 + csr.degree(e.u) + csr.degree(e.v);
+      }
+      if (candidates * kDeltaCostFactor >= n_) return false;  // early out on huge deltas
+    }
+    return candidates * kDeltaCostFactor < n_;
+  }
+
+  void mark_dirty(NodeId v) {
+    auto& mark = dirty_mark_[static_cast<std::size_t>(v)];
+    if (mark == 0) {
+      mark = 1;
+      dirty_.push_back(v);
+    }
+  }
+
+  void clear_dirty() {
+    for (NodeId v : dirty_) dirty_mark_[static_cast<std::size_t>(v)] = 0;
+    dirty_.clear();
+  }
+
+  // The delta path: recompute exactly the entries the delta or the interval's
+  // incremental updates may have changed, in ascending index order, and let
+  // refresh_entries re-derive the sums. O(Σ_endpoints deg + |dirty| +
+  // Σ_candidates deg + n/4096) — independent of n except for the total resum.
+  void apply_delta(const CsrView& csr, const TopologyDelta& delta) {
+    ++delta_updates_;
+    const Bitset& informed = *informed_;
+
+    // Endpoints of changed edges, deduplicated: their degree changed, so
+    // their winv must be refreshed before any rate is recomputed.
+    endpoints_.clear();
+    for (std::span<const Edge> part : {delta.removed, delta.added}) {
+      for (const Edge& e : part) {
+        endpoints_.push_back(e.u);
+        endpoints_.push_back(e.v);
+      }
+    }
+    std::sort(endpoints_.begin(), endpoints_.end());
+    endpoints_.erase(std::unique(endpoints_.begin(), endpoints_.end()), endpoints_.end());
+    for (NodeId u : endpoints_) {
+      const NodeId deg = csr.degree(u);
+      winv_[static_cast<std::size_t>(u)] =
+          deg > 0 ? config_.beta / static_cast<double>(deg) : 0.0;
+    }
+
+    // Candidates: endpoints, their current neighbours (an endpoint's changed
+    // winv feeds every incident crossing edge), and the interval's dirty
+    // entries. A removed edge's far side is itself an endpoint, so walking
+    // the *new* adjacency covers every affected node.
+    candidates_.clear();
+    candidates_.insert(candidates_.end(), dirty_.begin(), dirty_.end());
+    for (NodeId u : endpoints_) {
+      candidates_.push_back(u);
+      const std::span<const NodeId> around = csr.neighbors(u);
+      candidates_.insert(candidates_.end(), around.begin(), around.end());
+    }
+    std::sort(candidates_.begin(), candidates_.end());
+    candidates_.erase(std::unique(candidates_.begin(), candidates_.end()), candidates_.end());
+
+    refresh_idx_.clear();
+    refresh_val_.clear();
+    for (NodeId v : candidates_) {
+      refresh_idx_.push_back(static_cast<std::size_t>(v));
+      refresh_val_.push_back(informed.test(static_cast<std::size_t>(v))
+                                 ? 0.0
+                                 : crossing_rate(csr, informed, winv_, config_.do_push,
+                                                 config_.pull_scale, v));
+    }
+    rates_.refresh_entries(refresh_idx_, refresh_val_);
+    clear_dirty();
+    csr_ = csr;
+  }
+
+  NodeId n_ = 0;
+  CsrView csr_;
+  const Bitset* informed_ = nullptr;
+  Config config_;
+  BlockRates rates_;
+  std::span<double> winv_;              // β/deg per node, arena-backed
+  std::span<double> scratch_;           // rebuild staging, arena-backed
+  std::span<std::uint8_t> dirty_mark_;  // 1 = already in dirty_, arena-backed
+  std::vector<NodeId> dirty_;           // entries drifted since the last (re)build
+  std::vector<NodeId> endpoints_;       // delta-path scratch
+  std::vector<NodeId> candidates_;      // delta-path scratch
+  std::vector<std::size_t> refresh_idx_;
+  std::vector<double> refresh_val_;
+  std::int64_t delta_updates_ = 0;
+  std::int64_t full_rebuilds_ = 0;
+};
+
+}  // namespace rumor

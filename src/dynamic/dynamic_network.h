@@ -10,10 +10,16 @@
 //  * graph_at(t, informed) is called with non-decreasing t (0, 1, 2, ...);
 //  * the returned reference stays valid until the next graph_at call;
 //  * Graph::version() changes iff the topology changed, letting engines skip
-//    rebuilding their rate structures when the adversary kept the graph.
+//    rebuilding their rate structures when the adversary kept the graph;
+//  * families whose evolution is naturally a small edge delta may report it
+//    through last_delta(), letting engines update their rate structures in
+//    O(delta) instead of O(n) (see core/rate_model.h).
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,6 +53,28 @@ class InformedView {
   const std::int64_t* count_;
 };
 
+// A change-point's topology delta: the edges that disappeared from and
+// appeared in the snapshot relative to the previous one. Both spans are
+// normalized (u < v), lexicographically sorted, duplicate-free, and disjoint;
+// they borrow the reporting family's buffers and stay valid until its next
+// graph_at call (the same lifetime as the snapshot they describe).
+struct TopologyDelta {
+  std::span<const Edge> removed;
+  std::span<const Edge> added;
+};
+
+// Parallel-for the engines lend to families for their own per-step evolution
+// (e.g. the edge-Markovian family's tiled birth/death sampling). run() invokes
+// fn(task) once for every task in [0, tasks), in any order and on any threads;
+// families must make their evolution a pure function of the task index (the
+// tiled counter-based RNG scheme — see docs/ARCHITECTURE.md) so lending or
+// withholding a context never changes the graph sequence.
+class ParallelEvolution {
+ public:
+  virtual ~ParallelEvolution() = default;
+  virtual void run(std::int64_t tasks, const std::function<void(std::int64_t)>& fn) = 0;
+};
+
 class DynamicNetwork {
  public:
   virtual ~DynamicNetwork() = default;
@@ -69,6 +97,25 @@ class DynamicNetwork {
   virtual NodeId suggested_source() const { return 0; }
 
   virtual std::string name() const = 0;
+
+  // True when this family can report per-change-point deltas; engines use it
+  // to decide whether delta-path bookkeeping (dirty-node tracking) is worth
+  // maintaining at all.
+  virtual bool reports_deltas() const { return false; }
+
+  // The delta between the previous snapshot and current_graph(). Valid only
+  // immediately after a graph_at call, and only when that call advanced the
+  // topology by exactly one change-point (a call that crossed several steps
+  // composes several deltas and must return nullopt instead). Families that
+  // rebuild from scratch always return nullopt.
+  virtual std::optional<TopologyDelta> last_delta() const { return std::nullopt; }
+
+  // Lends (or with nullptr revokes) a parallel-for for the family's own
+  // per-step evolution. The context must stay valid until revoked. Families
+  // without tiled evolution ignore it; using it never changes the graph
+  // sequence (tiles and their RNG streams are fixed by n and the seed, not by
+  // the worker count).
+  virtual void set_parallel_evolution(ParallelEvolution* evolution) { (void)evolution; }
 };
 
 }  // namespace rumor

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <vector>
 
 #include "support/contracts.h"
 
@@ -10,127 +9,202 @@ namespace rumor {
 
 namespace {
 
+// Cumulative pair count of rows before u: S(u) = u·(2n-u-1)/2. Row u holds
+// the n-1-u pairs (u, u+1), ..., (u, n-1) in the lexicographic linearization
+// of all unordered pairs.
+std::int64_t row_start(NodeId n, std::int64_t u) {
+  return u * (2 * static_cast<std::int64_t>(n) - u - 1) / 2;  // u·(2n-u-1) is even
+}
+
 // Maps a linear pair index in [0, n(n-1)/2) to its lexicographic (u, v) pair
-// (u < v): row u holds the n-1-u pairs (u, u+1), ..., (u, n-1). The previous
-// implementation walked rows linearly — O(n) per sampled edge, which at
-// n = 10^6 made every change-point burst quadratic. Inverting the cumulative
-// row count S(u) = u·(2n-u-1)/2 with the quadratic formula is O(1); the
+// (u < v). Inverting S(u) with the quadratic formula is O(1); the
 // double-precision root is within one row of the answer for every n the
 // registry admits ((2n-1)² < 2^53), and the integer fix-up loops make the
 // result exact regardless.
 Edge nth_pair(NodeId n, std::int64_t idx) {
-  const auto row_start = [n](std::int64_t u) {
-    return u * (2 * static_cast<std::int64_t>(n) - u - 1) / 2;  // u·(2n-u-1) is even
-  };
   const double b = 2.0 * static_cast<double>(n) - 1.0;
   const double root = std::floor((b - std::sqrt(b * b - 8.0 * static_cast<double>(idx))) / 2.0);
   std::int64_t u = std::clamp<std::int64_t>(static_cast<std::int64_t>(root), 0, n - 2);
-  while (u > 0 && row_start(u) > idx) --u;
-  while (u + 1 <= n - 2 && row_start(u + 1) <= idx) ++u;
-  const std::int64_t v = u + 1 + (idx - row_start(u));
+  while (u > 0 && row_start(n, u) > idx) --u;
+  while (u + 1 <= n - 2 && row_start(n, u + 1) <= idx) ++u;
+  const std::int64_t v = u + 1 + (idx - row_start(n, u));
   return {static_cast<NodeId>(u), static_cast<NodeId>(v)};
+}
+
+// Inverse of nth_pair: the linear index of normalized edge (u < v).
+std::int64_t pair_index(NodeId n, const Edge& e) {
+  return row_start(n, e.u) + (e.v - e.u - 1);
+}
+
+// Counter-based per-(step, tile) stream seed, the same construction as the
+// runner's per-trial seeds: splitmix64 is a bijective mixer, so chaining one
+// mix per counter level yields independent streams for distinct
+// (seed, step, tile) triples with O(1) derivation from any worker.
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t step, std::uint64_t tile) {
+  std::uint64_t state = seed + step * 0x9e3779b97f4a7c15ULL;
+  std::uint64_t mixed = splitmix64(state);
+  mixed += tile * 0x9e3779b97f4a7c15ULL;
+  return splitmix64(mixed);
+}
+
+// Geometric-skip enumeration of Bernoulli(p) successes over the pair-index
+// range [lo, hi), for p in (0, 1): every success index is visited in
+// ascending order with one uniform draw per success (plus the final
+// overshoot draw). The `!(gap < remaining)` guard also absorbs the
+// degenerate skips of denormal p, where log1p(-p) underflows toward -0 and
+// the quotient overflows any integer type.
+template <typename OnSuccess>
+void geometric_skip(Rng& rng, double p, std::int64_t lo, std::int64_t hi, OnSuccess&& fn) {
+  const double log1m = std::log1p(-p);
+  std::int64_t idx = lo - 1;
+  for (;;) {
+    const double gap = std::floor(std::log(rng.uniform_positive()) / log1m);
+    if (!(gap < static_cast<double>(hi - idx - 1))) break;
+    idx += 1 + static_cast<std::int64_t>(gap);
+    fn(idx);
+  }
 }
 
 }  // namespace
 
-std::uint64_t EdgeMarkovianNetwork::key(NodeId u, NodeId v) {
-  if (u > v) std::swap(u, v);
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
-         static_cast<std::uint32_t>(v);
-}
-
-Edge EdgeMarkovianNetwork::decode(std::uint64_t k) {
-  return {static_cast<NodeId>(k >> 32), static_cast<NodeId>(k & 0xffffffffULL)};
-}
-
 EdgeMarkovianNetwork::EdgeMarkovianNetwork(NodeId n, double p, double q, std::uint64_t seed,
                                            bool start_empty)
-    : n_(n), p_(p), q_(q), rng_(seed), topo_(n) {
+    : n_(n), p_(p), q_(q), seed_(seed), topo_(n) {
   DG_REQUIRE(n >= 2, "need at least two nodes");
   DG_REQUIRE(p > 0.0 && p <= 1.0, "birth probability must lie in (0,1]");
-  DG_REQUIRE(q > 0.0 && q <= 1.0, "death probability must lie in (0,1]");
+  DG_REQUIRE(q >= 0.0 && q <= 1.0, "death probability must lie in [0,1]");
+  const std::int64_t total = static_cast<std::int64_t>(n) * (n - 1) / 2;
+  std::vector<Edge> edges;
   if (!start_empty) {
     // Stationary density: each pair is an edge with probability p/(p+q).
+    // q = 0 makes that density 1 — the complete graph.
     const double density = p / (p + q);
-    const double log1m = std::log1p(-density);
-    const std::int64_t total = static_cast<std::int64_t>(n) * (n - 1) / 2;
-    std::int64_t idx = -1;
-    if (density < 1.0) {
-      for (;;) {
-        idx += 1 + static_cast<std::int64_t>(
-                       std::floor(std::log(rng_.uniform_positive()) / log1m));
-        if (idx >= total) break;
-        const Edge e = nth_pair(n, idx);
-        edge_set_.insert(key(e.u, e.v));
+    if (density >= 1.0) {
+      edges.reserve(static_cast<std::size_t>(total));
+      for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = u + 1; v < n; ++v) edges.push_back({u, v});
+      }
+    } else {
+      // Tiled exactly like evolve() (stream counter 0), so the start is part
+      // of the same portable sequence contract.
+      const std::int64_t tiles = (total + kPairsPerTile - 1) / kPairsPerTile;
+      for (std::int64_t tile = 0; tile < tiles; ++tile) {
+        Rng rng(stream_seed(seed_, 0, static_cast<std::uint64_t>(tile)));
+        const std::int64_t lo = tile * kPairsPerTile;
+        const std::int64_t hi = std::min(lo + kPairsPerTile, total);
+        geometric_skip(rng, density, lo, hi,
+                       [&](std::int64_t idx) { edges.push_back(nth_pair(n_, idx)); });
       }
     }
   }
-  std::vector<Edge> edges;
-  edges.reserve(edge_set_.size());
-  for (std::uint64_t k : edge_set_) edges.push_back(decode(k));
-  topo_.rebuild(std::move(edges));
+  topo_.rebuild_presorted(std::move(edges));
+}
+
+void EdgeMarkovianNetwork::run_tiles(std::int64_t tiles,
+                                     const std::function<void(std::int64_t)>& fn) {
+  if (evolution_ != nullptr && tiles > 1) {
+    evolution_->run(tiles, fn);
+  } else {
+    for (std::int64_t tile = 0; tile < tiles; ++tile) fn(tile);
+  }
 }
 
 void EdgeMarkovianNetwork::evolve() {
-  // Deaths: every current edge survives with probability 1 - q. The survivors
-  // go into a freshly built set (not an in-place erase) so the hash iteration
-  // order — and with it this family's per-seed graph sequence — stays exactly
-  // what it has always been; the deaths double as the removal delta.
-  std::vector<Edge> removed;
-  std::unordered_set<std::uint64_t> next;
-  next.reserve(edge_set_.size() * 2);
-  for (std::uint64_t k : edge_set_) {
-    if (!rng_.flip(q_)) {
-      next.insert(k);
-    } else {
-      removed.push_back(decode(k));
-    }
-  }
-
-  // Births: geometric skipping over all non-edges. We enumerate all pairs and
-  // skip by Geometric(p); pairs that are currently edges are passed over
-  // (their transition is governed by the death step). The births are the
-  // addition delta.
-  std::vector<Edge> added;
-  const double log1m = std::log1p(-p_);
+  const std::uint64_t step = ++evolve_count_;
+  const std::vector<Edge>& current = topo_.current().edges();  // pair-index sorted
   const std::int64_t total = static_cast<std::int64_t>(n_) * (n_ - 1) / 2;
-  std::int64_t idx = -1;
-  if (p_ < 1.0) {
-    for (;;) {
-      idx += 1 +
-             static_cast<std::int64_t>(std::floor(std::log(rng_.uniform_positive()) / log1m));
-      if (idx >= total) break;
-      const Edge e = nth_pair(n_, idx);
-      const std::uint64_t k = key(e.u, e.v);
-      if (edge_set_.count(k) == 0) {
-        next.insert(k);
-        added.push_back(decode(k));
-      }
-    }
-  } else {
-    // p = 1: every pair becomes an edge, overriding this step's deaths, so the
-    // net delta is "add every previous non-edge" and no removals at all.
-    removed.clear();
-    for (NodeId u = 0; u < n_; ++u) {
-      for (NodeId v = u + 1; v < n_; ++v) {
-        const std::uint64_t k = key(u, v);
-        next.insert(k);
-        if (edge_set_.count(k) == 0) added.push_back(decode(k));
-      }
-    }
-  }
+  const std::int64_t tiles = std::max<std::int64_t>(1, (total + kPairsPerTile - 1) / kPairsPerTile);
+  tile_removed_.resize(static_cast<std::size_t>(tiles));
+  tile_added_.resize(static_cast<std::size_t>(tiles));
 
-  edge_set_ = std::move(next);
-  topo_.apply_delta(std::move(removed), std::move(added));
+  // Each tile owns the disjoint pair-index range [tile·W, (tile+1)·W) and a
+  // private counter-based RNG stream: deaths first — one Bernoulli(q) draw
+  // per current edge of the range, in ascending pair-index order (none at
+  // all when q = 0: frozen edges) — then births by Geometric(p) skipping
+  // over the range with current edges passed over (their transition is
+  // governed by the death step). Tile outputs land in tile-indexed slots, so
+  // the step is a pure function of (seed, step, tiling) no matter which
+  // threads run which tiles. p = 1 is the one special case: every pair
+  // becomes an edge, overriding this step's deaths, with no draws at all —
+  // the net delta is "add every previous non-edge".
+  const bool full_birth = p_ >= 1.0;
+  run_tiles(tiles, [&](std::int64_t tile) {
+    std::vector<Edge>& removed = tile_removed_[static_cast<std::size_t>(tile)];
+    std::vector<Edge>& added = tile_added_[static_cast<std::size_t>(tile)];
+    removed.clear();
+    added.clear();
+    const std::int64_t lo = tile * kPairsPerTile;
+    const std::int64_t hi = std::min(lo + kPairsPerTile, total);
+    const auto begin = std::lower_bound(
+        current.begin(), current.end(), lo,
+        [this](const Edge& e, std::int64_t idx) { return pair_index(n_, e) < idx; });
+    const auto end = std::lower_bound(
+        begin, current.end(), hi,
+        [this](const Edge& e, std::int64_t idx) { return pair_index(n_, e) < idx; });
+
+    if (full_birth) {
+      // Complete graph next step: add every non-edge of the range.
+      auto it = begin;
+      for (std::int64_t idx = lo; idx < hi; ++idx) {
+        if (it != end && pair_index(n_, *it) == idx) {
+          ++it;
+          continue;
+        }
+        added.push_back(nth_pair(n_, idx));
+      }
+      return;
+    }
+
+    Rng rng(stream_seed(seed_, step, static_cast<std::uint64_t>(tile)));
+    if (q_ > 0.0) {
+      for (auto it = begin; it != end; ++it) {
+        if (rng.flip(q_)) removed.push_back(*it);
+      }
+    }
+    auto it = begin;  // membership merge: both walks ascend in pair index
+    geometric_skip(rng, p_, lo, hi, [&](std::int64_t idx) {
+      while (it != end && pair_index(n_, *it) < idx) ++it;
+      if (it != end && pair_index(n_, *it) == idx) return;  // already an edge
+      added.push_back(nth_pair(n_, idx));
+    });
+  });
+
+  // Tile ranges ascend, and within a tile both outputs ascend, so plain
+  // concatenation in tile order yields sorted, duplicate-free deltas.
+  removed_.clear();
+  added_.clear();
+  for (std::int64_t tile = 0; tile < tiles; ++tile) {
+    const auto& rem = tile_removed_[static_cast<std::size_t>(tile)];
+    const auto& add = tile_added_[static_cast<std::size_t>(tile)];
+    removed_.insert(removed_.end(), rem.begin(), rem.end());
+    added_.insert(added_.end(), add.begin(), add.end());
+  }
+  topo_.apply_delta_sorted(removed_, added_);
 }
 
 const Graph& EdgeMarkovianNetwork::graph_at(std::int64_t t, const InformedView&) {
   DG_REQUIRE(t >= last_step_, "graph_at must be called with non-decreasing t");
+  int evolutions = 0;
   while (last_step_ < t) {
-    if (last_step_ >= 0) evolve();
+    if (last_step_ >= 0) {
+      evolve();
+      ++evolutions;
+    }
     ++last_step_;
   }
+  // The delta describes exactly one change-point; a call that crossed several
+  // steps composed several, so the report is withdrawn until the next step.
+  if (evolutions == 1) {
+    delta_valid_ = true;
+  } else if (evolutions > 1) {
+    delta_valid_ = false;
+  }
   return topo_.current();
+}
+
+std::optional<TopologyDelta> EdgeMarkovianNetwork::last_delta() const {
+  if (!delta_valid_) return std::nullopt;
+  return TopologyDelta{removed_, added_};
 }
 
 }  // namespace rumor

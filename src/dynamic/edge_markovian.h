@@ -5,9 +5,24 @@
 // constant q, the (synchronous) push algorithm spreads a rumor in O(log n)
 // rounds w.h.p. — extension experiment E13 reproduces that claim with this
 // family.
+//
+// Evolution is *tiled and counter-based*: the linear pair-index space
+// [0, n(n-1)/2) is cut into fixed-width tiles, and every step samples each
+// tile from its own RNG stream seeded by (seed, step, tile) — deaths first,
+// in ascending pair-index order over the tile's current edges, then births by
+// geometric skipping over the tile's non-edges. The per-seed graph sequence
+// is therefore a pure function of (n, p, q, seed, start_empty): independent
+// of the standard library (no hash-iteration order anywhere), of whether an
+// engine lends a ParallelEvolution pool, and of that pool's worker count.
+// docs/ARCHITECTURE.md §"The portable edge-Markovian sequence" states the
+// exact contract; the golden-sequence test pins it across stdlibs.
+//
+// Each step's births/deaths double as the reported TopologyDelta, so the jump
+// engine can take its O(Δ·deg) incremental rate path instead of an O(n)
+// rebuild.
 #pragma once
 
-#include <unordered_set>
+#include <vector>
 
 #include "dynamic/dynamic_network.h"
 #include "graph/topology.h"
@@ -17,7 +32,14 @@ namespace rumor {
 
 class EdgeMarkovianNetwork final : public DynamicNetwork {
  public:
+  // Pairs per evolution tile. Fixed (never derived from the worker count) so
+  // the tiling — and with it the per-seed sequence — depends only on n.
+  static constexpr std::int64_t kPairsPerTile = std::int64_t{1} << 24;
+
   // Starts from G(0) ~ the stationary density p/(p+q) unless `start_empty`.
+  // q = 0 is the frozen-edges regime: edges are born and never die (its
+  // stationary density is 1, so pair it with `start_empty` unless you want
+  // the complete graph).
   EdgeMarkovianNetwork(NodeId n, double p, double q, std::uint64_t seed = 17,
                        bool start_empty = false);
 
@@ -26,18 +48,30 @@ class EdgeMarkovianNetwork final : public DynamicNetwork {
   const Graph& current_graph() const override { return topo_.current(); }
   std::string name() const override { return "edge-markovian"; }
 
+  bool reports_deltas() const override { return true; }
+  std::optional<TopologyDelta> last_delta() const override;
+  void set_parallel_evolution(ParallelEvolution* evolution) override { evolution_ = evolution; }
+
  private:
   void evolve();
-  static std::uint64_t key(NodeId u, NodeId v);
-  static Edge decode(std::uint64_t k);
+  void run_tiles(std::int64_t tiles, const std::function<void(std::int64_t)>& fn);
 
   NodeId n_ = 0;
   double p_ = 0.0;
   double q_ = 0.0;
-  Rng rng_;
-  std::unordered_set<std::uint64_t> edge_set_;
+  std::uint64_t seed_ = 0;
   TopologyBuilder topo_;
+  ParallelEvolution* evolution_ = nullptr;
   std::int64_t last_step_ = -1;
+  std::uint64_t evolve_count_ = 0;  // stream counter: 0 = stationary start
+
+  // Per-tile outputs, concatenated in tile order into the delta buffers; all
+  // reused across steps (capacity only ever grows).
+  std::vector<std::vector<Edge>> tile_removed_;
+  std::vector<std::vector<Edge>> tile_added_;
+  std::vector<Edge> removed_;
+  std::vector<Edge> added_;
+  bool delta_valid_ = false;
 };
 
 }  // namespace rumor

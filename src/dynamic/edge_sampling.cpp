@@ -21,16 +21,36 @@ void EdgeSamplingNetwork::resample() {
   for (const Edge& e : base_.edges()) {
     if (rng_.flip(p_)) kept.push_back(e);
   }
+  if (topo_.has_snapshot()) {
+    // Delta report: symmetric difference against the previous sample.
+    // Consumes no randomness, so the per-seed sequence is unchanged from the
+    // pre-delta implementation.
+    edge_symmetric_difference(topo_.current().edges(), kept, removed_, added_);
+  }
   topo_.rebuild_presorted(std::move(kept));
 }
 
 const Graph& EdgeSamplingNetwork::graph_at(std::int64_t t, const InformedView&) {
   DG_REQUIRE(t >= last_t_, "graph_at must be called with non-decreasing t");
+  int resamples = 0;
   while (last_t_ < t) {
     ++last_t_;
-    if (last_t_ > 0) resample();
+    if (last_t_ > 0) {
+      resample();
+      ++resamples;
+    }
+  }
+  if (resamples == 1) {
+    delta_valid_ = true;
+  } else if (resamples > 1) {
+    delta_valid_ = false;
   }
   return topo_.current();
+}
+
+std::optional<TopologyDelta> EdgeSamplingNetwork::last_delta() const {
+  if (!delta_valid_) return std::nullopt;
+  return TopologyDelta{removed_, added_};
 }
 
 }  // namespace rumor

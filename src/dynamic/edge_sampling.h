@@ -5,7 +5,14 @@
 // degree is p·d, the exposed graphs are frequently disconnected for small p,
 // and the Theorem 1.1/1.3 sums advance only on the lucky connected steps —
 // a natural stress test for the bound machinery and a common wireless model.
+//
+// Each resample also reports the symmetric difference against the previous
+// sample as a TopologyDelta (without touching the RNG stream, so the per-seed
+// graph sequence is exactly what it has always been); for p near 0 or 1 the
+// delta is small and the jump engine takes its incremental rate path.
 #pragma once
+
+#include <vector>
 
 #include "dynamic/dynamic_network.h"
 #include "graph/topology.h"
@@ -22,6 +29,9 @@ class EdgeSamplingNetwork final : public DynamicNetwork {
   const Graph& current_graph() const override { return topo_.current(); }
   std::string name() const override { return "edge-sampling"; }
 
+  bool reports_deltas() const override { return true; }
+  std::optional<TopologyDelta> last_delta() const override;
+
   const Graph& base_graph() const { return base_; }
 
  private:
@@ -32,6 +42,9 @@ class EdgeSamplingNetwork final : public DynamicNetwork {
   Rng rng_;
   TopologyBuilder topo_;
   std::int64_t last_t_ = -1;
+  std::vector<Edge> removed_;
+  std::vector<Edge> added_;
+  bool delta_valid_ = false;
 };
 
 }  // namespace rumor

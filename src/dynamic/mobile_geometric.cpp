@@ -82,19 +82,38 @@ void MobileGeometricNetwork::rebuild() {
   }
   // Overlapping cell windows (cells < 3) emit the same pair twice; the
   // builder's counting sort collapses the duplicates.
+  const bool have_previous = topo_.has_snapshot();
+  if (have_previous) prev_edges_ = topo_.current().edges();
   topo_.rebuild(std::move(edges), /*dedupe=*/true);
+
+  if (have_previous) {
+    // Delta report: symmetric difference of the sorted snapshots.
+    edge_symmetric_difference(prev_edges_, topo_.current().edges(), removed_, added_);
+  }
 }
 
 const Graph& MobileGeometricNetwork::graph_at(std::int64_t t, const InformedView&) {
   DG_REQUIRE(t >= last_step_, "graph_at must be called with non-decreasing t");
+  int rebuilds = 0;
   while (last_step_ < t) {
     if (last_step_ >= 0) {
       move();
       rebuild();
+      ++rebuilds;
     }
     ++last_step_;
   }
+  if (rebuilds == 1) {
+    delta_valid_ = true;
+  } else if (rebuilds > 1) {
+    delta_valid_ = false;
+  }
   return topo_.current();
+}
+
+std::optional<TopologyDelta> MobileGeometricNetwork::last_delta() const {
+  if (!delta_valid_) return std::nullopt;
+  return TopologyDelta{removed_, added_};
 }
 
 }  // namespace rumor

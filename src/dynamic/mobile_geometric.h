@@ -25,6 +25,12 @@ class MobileGeometricNetwork final : public DynamicNetwork {
   const Graph& current_graph() const override { return topo_.current(); }
   std::string name() const override { return "mobile-geometric"; }
 
+  // Small agent steps move few edges, so each rebuild also reports the
+  // sorted-list diff against the previous snapshot as a TopologyDelta
+  // (consuming no randomness — the per-seed sequence is unchanged).
+  bool reports_deltas() const override { return true; }
+  std::optional<TopologyDelta> last_delta() const override;
+
   const std::vector<double>& xs() const { return x_; }
   const std::vector<double>& ys() const { return y_; }
 
@@ -40,6 +46,10 @@ class MobileGeometricNetwork final : public DynamicNetwork {
   TopologyBuilder topo_;
   std::vector<std::vector<NodeId>> grid_;  // proximity cells, reused per rebuild
   std::int64_t last_step_ = -1;
+  std::vector<Edge> prev_edges_;  // previous snapshot's edges, for the diff
+  std::vector<Edge> removed_;
+  std::vector<Edge> added_;
+  bool delta_valid_ = false;
 };
 
 }  // namespace rumor

@@ -23,6 +23,24 @@ void normalize(NodeId n, std::vector<Edge>& edges) {
 
 }  // namespace
 
+void edge_symmetric_difference(const std::vector<Edge>& before, const std::vector<Edge>& after,
+                               std::vector<Edge>& removed, std::vector<Edge>& added) {
+  removed.clear();
+  added.clear();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < before.size() || j < after.size()) {
+    if (j == after.size() || (i < before.size() && edge_less(before[i], after[j]))) {
+      removed.push_back(before[i++]);
+    } else if (i == before.size() || edge_less(after[j], before[i])) {
+      added.push_back(after[j++]);
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+}
+
 TopologyBuilder::TopologyBuilder(NodeId n) : n_(n) {
   DG_REQUIRE(n >= 0, "node count must be non-negative");
 }
@@ -70,7 +88,6 @@ const Graph& TopologyBuilder::rebuild_presorted(std::vector<Edge> edges) {
 }
 
 const Graph& TopologyBuilder::apply_delta(std::vector<Edge> removed, std::vector<Edge> added) {
-  DG_REQUIRE(has_snapshot_, "apply_delta needs a previous snapshot");
   normalize(n_, removed);
   normalize(n_, added);
   std::sort(removed.begin(), removed.end(), edge_less);
@@ -79,7 +96,27 @@ const Graph& TopologyBuilder::apply_delta(std::vector<Edge> removed, std::vector
     DG_REQUIRE(!(removed[i] == removed[i - 1]), "duplicate edge in removal delta");
   for (std::size_t i = 1; i < added.size(); ++i)
     DG_REQUIRE(!(added[i] == added[i - 1]), "duplicate edge in addition delta");
+  return merge_delta(removed, added);
+}
 
+const Graph& TopologyBuilder::apply_delta_sorted(std::span<const Edge> removed,
+                                                 std::span<const Edge> added) {
+#ifndef NDEBUG
+  for (std::span<const Edge> delta : {removed, added}) {
+    for (std::size_t i = 0; i < delta.size(); ++i) {
+      DG_ASSERT(delta[i].u >= 0 && delta[i].u < delta[i].v && delta[i].v < n_,
+                "sorted delta edges must be normalized and in range");
+      DG_ASSERT(i == 0 || edge_less(delta[i - 1], delta[i]),
+                "sorted delta edges must be strictly increasing");
+    }
+  }
+#endif
+  return merge_delta(removed, added);
+}
+
+const Graph& TopologyBuilder::merge_delta(std::span<const Edge> removed,
+                                          std::span<const Edge> added) {
+  DG_REQUIRE(has_snapshot_, "apply_delta needs a previous snapshot");
   const std::vector<Edge>& old = current().edges();
   std::vector<Edge> merged;
   merged.reserve(old.size() + added.size());

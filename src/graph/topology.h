@@ -22,11 +22,22 @@
 // version(), so engines' version-compare change detection keeps working.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
 
 namespace rumor {
+
+// Two-pointer symmetric difference of two normalized, lexicographically
+// sorted, duplicate-free edge lists: edges only in `before` land in
+// `removed`, edges only in `after` land in `added` (both cleared first, both
+// emitted sorted). This is how families that rebuild from scratch
+// (edge_sampling, mobile_geometric) derive the TopologyDelta they report —
+// one definition so the delta contract and TopologyBuilder's edge ordering
+// cannot drift apart. O(|before| + |after|).
+void edge_symmetric_difference(const std::vector<Edge>& before, const std::vector<Edge>& after,
+                               std::vector<Edge>& removed, std::vector<Edge>& added);
 
 class TopologyBuilder {
  public:
@@ -53,8 +64,16 @@ class TopologyBuilder {
   // |delta|); the bulk of the work is two linear merges.
   const Graph& apply_delta(std::vector<Edge> removed, std::vector<Edge> added);
 
+  // Delta rebuild from caller-retained buffers that are already normalized
+  // (u < v), lexicographically sorted, and duplicate-free — the exact form
+  // delta-reporting families expose through DynamicNetwork::last_delta().
+  // Skips the sort and does not consume the buffers, so one pair of vectors
+  // serves both this builder and the family's delta report. O(m + |delta|).
+  const Graph& apply_delta_sorted(std::span<const Edge> removed, std::span<const Edge> added);
+
  private:
   const Graph& install_sorted(std::vector<Edge> edges);
+  const Graph& merge_delta(std::span<const Edge> removed, std::span<const Edge> added);
 
   NodeId n_ = 0;
   bool has_snapshot_ = false;

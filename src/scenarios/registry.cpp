@@ -147,6 +147,17 @@ NetworkFactory make_edge_markovian(const ScenarioParams& p) {
   };
 }
 
+NetworkFactory make_edge_markovian_frozen(const ScenarioParams& p) {
+  const NodeId n = node_param(p, "n");
+  const double birth = p.real("p");
+  const bool start_empty = p.flag("start_empty");
+  return [n, birth, start_empty](std::uint64_t seed) {
+    // q = 0: edges are born and never die. Starting empty (the default), the
+    // rumor has to wait for links to accumulate before it can move at all.
+    return std::make_unique<EdgeMarkovianNetwork>(n, birth, /*q=*/0.0, seed, start_empty);
+  };
+}
+
 NetworkFactory make_mobile_geometric(const ScenarioParams& p) {
   const NodeId n = node_param(p, "n");
   const double radius = p.real("radius");
@@ -262,6 +273,13 @@ std::vector<ScenarioSpec> build_registry() {
                     pr("q", 0.2, 0.0, 1.0, "edge death probability"),
                     pf("start_empty", false, "start from the empty graph")},
                    &make_edge_markovian});
+  specs.push_back({"edge_markovian_frozen",
+                   "frozen edges (q = 0): non-edges born w.p. p per step, edges never die",
+                   "related work [7], q = 0 boundary",
+                   {pi("n", 256, 2, nmax, "number of nodes"),
+                    pr("p", 0.002, 0.0, 1.0, "edge birth probability"),
+                    pf("start_empty", true, "start from the empty graph")},
+                   &make_edge_markovian_frozen});
   specs.push_back({"mobile_geometric",
                    "agents on the unit torus; edges within communication radius",
                    "related work [22, 20] (mobile networks)",

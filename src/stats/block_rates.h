@@ -60,8 +60,54 @@ class BlockRates {
     finish_assign();
   }
 
+  // Point-rewrites the listed entries and re-derives every sum they touch in
+  // assign()'s exact summation order: each affected 64-entry block is resummed
+  // from its entries in index order, each affected superblock from its blocks
+  // in index order, and the cross-superblock total from all superblocks in
+  // index order. Entries not listed keep their values, so as long as `idx`
+  // covers every entry changed since the last assign()/refresh_entries() call
+  // (including ones changed through add()/clear()), the result is
+  // bit-identical to a full assign() of the updated rate vector — the
+  // invariant the engines' delta path at change-points is built on
+  // (core/rate_model.h). `idx` must be strictly ascending; O(|idx|·64 +
+  // n/4096).
+  void refresh_entries(std::span<const std::size_t> idx, std::span<const double> vals) {
+    DG_REQUIRE(idx.size() == vals.size(), "index/value arity mismatch");
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      DG_REQUIRE(idx[k] < n_, "rate index out of range");
+      DG_REQUIRE(vals[k] >= 0.0, "rates must be non-negative");
+      DG_REQUIRE(k == 0 || idx[k - 1] < idx[k], "refresh indices must be strictly ascending");
+      rate_[idx[k]] = vals[k];
+    }
+    for (std::size_t k = 0; k < idx.size();) {
+      const std::size_t b = idx[k] / kBlock;
+      while (k < idx.size() && idx[k] / kBlock == b) ++k;  // one resum per block
+      const std::size_t lo = b * kBlock;
+      const std::size_t hi = std::min(lo + kBlock, n_);
+      double sum = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) sum += rate_[i];
+      block_[b] = sum;
+    }
+    for (std::size_t k = 0; k < idx.size();) {
+      const std::size_t s = idx[k] / kSuper;
+      while (k < idx.size() && idx[k] / kSuper == s) ++k;  // one resum per superblock
+      const std::size_t lo = s * kBlock;
+      const std::size_t hi = std::min(lo + kBlock, block_.size());
+      double sum = 0.0;
+      for (std::size_t b = lo; b < hi; ++b) sum += block_[b];
+      super_[s] = sum;
+    }
+    finish_assign();
+  }
+
   std::size_t size() const { return n_; }
   double total() const { return total_; }
+
+  // Read-only views of the raw tables, for the cross-path identity tests that
+  // diff the delta path against a full rebuild bit for bit.
+  std::span<const double> values() const { return rate_; }
+  std::span<const double> block_sums() const { return block_; }
+  std::span<const double> super_sums() const { return super_; }
 
   double value(std::size_t i) const {
     DG_REQUIRE(i < n_, "rate index out of range");

@@ -9,7 +9,9 @@
 // every answer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "stats/block_rates.h"
@@ -98,6 +100,74 @@ TEST(BlockRates_, MatchesFenwickOnRandomWorkloads) {
       }
     }
   }
+}
+
+// refresh_entries is the delta path's primitive: as long as every entry
+// changed since the last assign() is listed, the table must equal a fresh
+// assign() of the full rate vector bit for bit — including the block and
+// superblock sums and the total.
+TEST(BlockRates_, RefreshEntriesBitIdenticalToAssign) {
+  Rng rng(404);
+  for (const std::size_t n : {1ul, 63ul, 64ul, 4097ul, 20000ul}) {
+    std::vector<double> rates(n);
+    for (double& x : rates) x = rng.uniform() * 3.0;
+    BlockRates table;
+    table.assign(rates);
+
+    for (int round = 0; round < 20; ++round) {
+      // Drift a random subset through add()/clear() — the interval's
+      // incremental updates — while tracking the touched set.
+      std::vector<std::size_t> touched;
+      const int updates = static_cast<int>(rng.below(16)) + 1;
+      for (int k = 0; k < updates; ++k) {
+        const std::size_t i = static_cast<std::size_t>(rng.below(n));
+        if (rng.flip(0.3)) {
+          table.clear(i);
+          rates[i] = 0.0;
+        } else {
+          const double delta = rng.uniform() - 0.3;
+          table.add(i, delta);
+          rates[i] = std::max(0.0, rates[i] + delta);
+        }
+        touched.push_back(i);
+      }
+      // Some externally recomputed values ride along (the delta path's
+      // affected-neighbour recomputes).
+      for (int k = 0; k < 4; ++k) {
+        const std::size_t i = static_cast<std::size_t>(rng.below(n));
+        rates[i] = rng.uniform() * 2.0;
+        touched.push_back(i);
+      }
+      std::sort(touched.begin(), touched.end());
+      touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+      std::vector<double> values;
+      values.reserve(touched.size());
+      for (const std::size_t i : touched) values.push_back(rates[i]);
+      table.refresh_entries(touched, values);
+
+      BlockRates fresh;
+      fresh.assign(rates);
+      ASSERT_EQ(0, std::memcmp(table.values().data(), fresh.values().data(),
+                               n * sizeof(double)));
+      ASSERT_EQ(0, std::memcmp(table.block_sums().data(), fresh.block_sums().data(),
+                               table.block_sums().size() * sizeof(double)));
+      ASSERT_EQ(0, std::memcmp(table.super_sums().data(), fresh.super_sums().data(),
+                               table.super_sums().size() * sizeof(double)));
+      const double a = table.total();
+      const double b = fresh.total();
+      ASSERT_EQ(0, std::memcmp(&a, &b, sizeof(double)));
+    }
+  }
+}
+
+TEST(BlockRates_, RefreshEntriesValidatesInput) {
+  BlockRates table;
+  table.assign(std::vector<double>{1.0, 2.0, 3.0});
+  const std::vector<std::size_t> unsorted = {2, 1};
+  const std::vector<double> values = {1.0, 1.0};
+  EXPECT_THROW(table.refresh_entries(unsorted, values), std::invalid_argument);
+  const std::vector<std::size_t> arity = {1};
+  EXPECT_THROW(table.refresh_entries(arity, values), std::invalid_argument);
 }
 
 TEST(Bitset_, SetTestClearCount) {

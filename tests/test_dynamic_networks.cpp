@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "dynamic/absolute_adversary.h"
 #include "dynamic/clique_bridge.h"
@@ -325,6 +327,130 @@ TEST(EdgeMarkovian, StartEmptyFillsTowardStationary) {
   EXPECT_EQ(net.graph_at(0, inf.view()).edge_count(), 0);
   const auto e20 = net.graph_at(20, inf.view()).edge_count();
   EXPECT_GT(e20, 0);
+}
+
+// FNV-1a over the (u, v) pairs of one snapshot, the fingerprint the portable
+// golden-sequence contract is pinned with.
+std::uint64_t edge_fingerprint(const Graph& g) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const Edge& e : g.edges()) {
+    mix(static_cast<std::uint64_t>(e.u));
+    mix(static_cast<std::uint64_t>(e.v));
+  }
+  return h;
+}
+
+// The portable sequence contract (docs/ARCHITECTURE.md): the per-seed graph
+// sequence is a pure function of (n, p, q, seed, start_empty) — tiled
+// counter-based streams, deaths in ascending pair-index order, births by
+// geometric skip — with no standard-library container order anywhere. These
+// fingerprints were recorded once from this implementation; any stdlib
+// (libstdc++, libc++ — CI runs both) and any ParallelEvolution worker count
+// must reproduce them exactly.
+TEST(EdgeMarkovian, GoldenSequencePortable) {
+  EdgeMarkovianNetwork net(48, 0.08, 0.4, 12345);
+  Informed inf(48);
+  std::vector<std::uint64_t> fingerprints;
+  for (int t = 0; t < 12; ++t) {
+    fingerprints.push_back(edge_fingerprint(net.graph_at(t, inf.view())));
+  }
+  const std::vector<std::uint64_t> golden = {
+      12827032974755364028ULL, 7531786126276243871ULL, 18045827551323146857ULL,
+      8203525454545527174ULL,  14472175472519541854ULL, 3138241831539968326ULL,
+      9479990335927541284ULL,  669813948473497232ULL,   5165439307631310094ULL,
+      860681724321629282ULL,   4229135810361917922ULL,  5816499462605676662ULL,
+  };
+  EXPECT_EQ(fingerprints, golden);
+}
+
+TEST(EdgeMarkovian, FrozenEdgesNeverDie) {
+  // q = 0: the frozen-edges boundary. Edges accumulate and never disappear.
+  EdgeMarkovianNetwork net(60, 0.01, 0.0, 5, /*start_empty=*/true);
+  Informed inf(60);
+  std::int64_t prev = net.graph_at(0, inf.view()).edge_count();
+  EXPECT_EQ(prev, 0);
+  for (int t = 1; t <= 30; ++t) {
+    const Graph& g = net.graph_at(t, inf.view());
+    EXPECT_GE(g.edge_count(), prev);
+    const auto delta = net.last_delta();
+    ASSERT_TRUE(delta.has_value());
+    EXPECT_TRUE(delta->removed.empty());
+    prev = g.edge_count();
+  }
+  EXPECT_GT(prev, 0);
+}
+
+TEST(EdgeMarkovian, FrozenStationaryStartIsComplete) {
+  // q = 0 makes the stationary density p/(p+q) = 1: the complete graph.
+  EdgeMarkovianNetwork net(16, 0.3, 0.0, 5);
+  Informed inf(16);
+  EXPECT_EQ(net.graph_at(0, inf.view()).edge_count(), 16 * 15 / 2);
+}
+
+TEST(EdgeMarkovian, TinyBirthProbabilitySurvivesSkipUnderflow) {
+  // p this small drives log1p(-p) toward -0 and the geometric skip toward
+  // +inf; the guarded skip must terminate without overflow instead of
+  // invoking UB on the double-to-integer cast.
+  EdgeMarkovianNetwork net(50, 1e-300, 0.5, 9, /*start_empty=*/true);
+  Informed inf(50);
+  for (int t = 0; t <= 5; ++t) {
+    EXPECT_EQ(net.graph_at(t, inf.view()).edge_count(), 0);
+  }
+}
+
+TEST(EdgeMarkovian, RejectsOutOfRangeProbabilities) {
+  EXPECT_THROW(EdgeMarkovianNetwork(10, 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(EdgeMarkovianNetwork(10, 0.5, -0.1), std::invalid_argument);
+  EXPECT_THROW(EdgeMarkovianNetwork(10, 1.5, 0.5), std::invalid_argument);
+  EXPECT_THROW(EdgeMarkovianNetwork(10, 0.5, 1.5), std::invalid_argument);
+}
+
+TEST(EdgeMarkovian, DeltaMatchesSnapshotDiff) {
+  EdgeMarkovianNetwork net(70, 0.05, 0.4, 21);
+  Informed inf(70);
+  std::vector<Edge> prev = net.graph_at(0, inf.view()).edges();
+  for (int t = 1; t <= 25; ++t) {
+    const Graph& g = net.graph_at(t, inf.view());
+    const auto delta = net.last_delta();
+    ASSERT_TRUE(delta.has_value());
+    // Reconstruct the new edge set from the previous one plus the delta.
+    std::vector<Edge> rebuilt;
+    std::size_t r = 0;
+    std::size_t a = 0;
+    for (const Edge& e : prev) {
+      while (a < delta->added.size() && (delta->added[a].u < e.u ||
+                                         (delta->added[a].u == e.u && delta->added[a].v < e.v))) {
+        rebuilt.push_back(delta->added[a++]);
+      }
+      if (r < delta->removed.size() && delta->removed[r] == e) {
+        ++r;
+        continue;
+      }
+      rebuilt.push_back(e);
+    }
+    while (a < delta->added.size()) rebuilt.push_back(delta->added[a++]);
+    EXPECT_EQ(r, delta->removed.size());
+    EXPECT_EQ(rebuilt, g.edges());
+    prev = g.edges();
+  }
+}
+
+TEST(EdgeMarkovian, MultiStepAdvanceWithdrawsDelta) {
+  EdgeMarkovianNetwork net(40, 0.05, 0.4, 33);
+  Informed inf(40);
+  net.graph_at(0, inf.view());
+  net.graph_at(1, inf.view());
+  EXPECT_TRUE(net.last_delta().has_value());
+  net.graph_at(3, inf.view());  // two composed evolutions: no single delta
+  EXPECT_FALSE(net.last_delta().has_value());
+  net.graph_at(4, inf.view());
+  EXPECT_TRUE(net.last_delta().has_value());
 }
 
 TEST(EdgeMarkovian, GraphsStaySimple) {

@@ -1,0 +1,200 @@
+// Cross-path identity suite for the incremental change-point tier: the
+// delta-applied RateModel state must equal the full-rebuild state bit for bit
+// at every change-point, for every delta-reporting family, at rebuild worker
+// counts {1, 2, 8} — plus engine-level end-to-end checks that hiding a
+// family's deltas changes nothing in the per-trial records.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/async_engine.h"
+#include "core/engine_workspace.h"
+#include "core/rate_model.h"
+#include "core/trial_pool.h"
+#include "dynamic/edge_markovian.h"
+#include "dynamic/edge_sampling.h"
+#include "dynamic/mobile_geometric.h"
+#include "graph/random_graphs.h"
+#include "stats/rng.h"
+
+namespace rumor {
+namespace {
+
+// Bitwise comparison of double tables: exact float equality would conflate
+// 0.0 with -0.0 and hide summation-order drift smaller than a ULP print.
+bool bits_equal(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+void expect_models_identical(const RateModel& delta_path, const RateModel& rebuild_path) {
+  EXPECT_TRUE(bits_equal(delta_path.rates().values(), rebuild_path.rates().values()));
+  EXPECT_TRUE(bits_equal(delta_path.rates().block_sums(), rebuild_path.rates().block_sums()));
+  EXPECT_TRUE(bits_equal(delta_path.rates().super_sums(), rebuild_path.rates().super_sums()));
+  const double ta = delta_path.total();
+  const double tb = rebuild_path.total();
+  EXPECT_EQ(0, std::memcmp(&ta, &tb, sizeof(double)));
+  EXPECT_TRUE(bits_equal(delta_path.winv(), rebuild_path.winv()));
+}
+
+// Drives one family through `steps` change-points: a delta-forced model and a
+// rebuild-forced model see the same informed-set evolution and the same
+// graphs, and must agree bitwise after every change-point. `workers` threads
+// execute the rebuild tiles (the delta path itself is serial by design).
+void run_cross_path(std::unique_ptr<DynamicNetwork> net, int steps, int workers,
+                    std::uint64_t seed) {
+  const NodeId n = net->node_count();
+  Bitset informed(static_cast<std::size_t>(n));
+  std::int64_t informed_count = 0;
+  const InformedView view(&informed, &informed_count);
+
+  TrialPool pool;
+  auto parallel_for = [&](std::int64_t tasks, auto&& fn) {
+    if (workers > 1) {
+      pool.run(tasks, workers, 1, [&](std::int64_t task, int) { fn(task); });
+    } else {
+      for (std::int64_t task = 0; task < tasks; ++task) fn(task);
+    }
+  };
+
+  RateModel::Config config;
+  config.beta = 1.0;
+  config.do_push = true;
+  config.pull_scale = 1.0;
+  config.track_dirty = true;
+
+  Arena arena_a;
+  Arena arena_b;
+  RateModel delta_model;
+  RateModel rebuild_model;
+  config.policy = RateModel::DeltaPolicy::always;
+  delta_model.begin_trial(arena_a, informed, n, config);
+  config.policy = RateModel::DeltaPolicy::never;
+  rebuild_model.begin_trial(arena_b, informed, n, config);
+
+  Rng rng(seed);
+  const NodeId source = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+  informed.set(static_cast<std::size_t>(source));
+  ++informed_count;
+
+  const Graph* graph = &net->graph_at(0, view);
+  delta_model.rebuild(graph->csr(), informed_count, parallel_for);
+  rebuild_model.rebuild(graph->csr(), informed_count, parallel_for);
+  std::uint64_t version = graph->version();
+
+  std::int64_t delta_steps = 0;
+  for (int t = 1; t <= steps; ++t) {
+    // Between change-points, a handful of infections drive the incremental
+    // add()/clear() updates whose drift the delta path must also repair.
+    const int infections = static_cast<int>(rng.below(4));
+    for (int k = 0; k < infections && informed_count < n; ++k) {
+      NodeId v = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+      if (informed.test(static_cast<std::size_t>(v))) continue;
+      informed.set(static_cast<std::size_t>(v));
+      ++informed_count;
+      delta_model.inform(v);
+      rebuild_model.inform(v);
+    }
+
+    const Graph* next = &net->graph_at(t, view);
+    if (next->version() == version) continue;
+    version = next->version();
+    graph = next;
+    const std::optional<TopologyDelta> delta = net->last_delta();
+    if (delta_model.on_change(graph->csr(), delta, informed_count, parallel_for)) {
+      ++delta_steps;
+    }
+    rebuild_model.on_change(graph->csr(), std::nullopt, informed_count, parallel_for);
+    expect_models_identical(delta_model, rebuild_model);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "cross-path divergence at change-point " << t;
+    }
+  }
+  // The forced-delta model must have actually exercised the delta path on
+  // (nearly) every change-point, not silently fallen back.
+  EXPECT_GT(delta_steps, steps / 2);
+}
+
+TEST(RateModelCrossPath, EdgeMarkovian) {
+  // Mean degree 8 at n = 20000, near-stationary small p/q.
+  for (int workers : {1, 2, 8}) {
+    run_cross_path(std::make_unique<EdgeMarkovianNetwork>(20000, 1.2e-4, 0.3, 71), 110,
+                   workers, 1000 + static_cast<std::uint64_t>(workers));
+  }
+}
+
+TEST(RateModelCrossPath, EdgeSampling) {
+  for (int workers : {1, 2, 8}) {
+    Rng rng(5);
+    Graph base = random_connected_regular(rng, 20000, 4);
+    run_cross_path(std::make_unique<EdgeSamplingNetwork>(std::move(base), 0.5, 31), 110,
+                   workers, 2000 + static_cast<std::uint64_t>(workers));
+  }
+}
+
+TEST(RateModelCrossPath, MobileGeometric) {
+  for (int workers : {1, 2, 8}) {
+    run_cross_path(std::make_unique<MobileGeometricNetwork>(12000, 0.01, 0.002, 13), 110,
+                   workers, 3000 + static_cast<std::uint64_t>(workers));
+  }
+}
+
+// Forwarding wrapper that hides a family's deltas, forcing the engine onto
+// the full-rebuild path at every change-point.
+class HiddenDeltaNetwork final : public DynamicNetwork {
+ public:
+  explicit HiddenDeltaNetwork(std::unique_ptr<DynamicNetwork> inner)
+      : inner_(std::move(inner)) {}
+  NodeId node_count() const override { return inner_->node_count(); }
+  const Graph& graph_at(std::int64_t t, const InformedView& informed) override {
+    return inner_->graph_at(t, informed);
+  }
+  const Graph& current_graph() const override { return inner_->current_graph(); }
+  GraphProfile current_profile() const override { return inner_->current_profile(); }
+  NodeId suggested_source() const override { return inner_->suggested_source(); }
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  std::unique_ptr<DynamicNetwork> inner_;
+};
+
+// End to end through run_async_jump: per-trial results must be identical
+// whether the engine takes the delta path or is forced to rebuild — and the
+// delta path must actually engage for a near-stationary edge-Markovian model.
+TEST(RateModelCrossPath, JumpEngineRecordsUnchangedByDeltaPath) {
+  // Near-stationary regime (mean degree 8, tiny churn): per-step deltas of a
+  // few dozen edges, under the crossover at least on the quiet early steps.
+  const NodeId n = 40000;
+  const double p = 2e-8, q = 1e-4;
+  for (std::uint64_t seed : {21ULL, 22ULL, 23ULL}) {
+    AsyncOptions options;
+    options.time_limit = 64.0;
+
+    EngineWorkspace with_delta_ws;
+    options.workspace = &with_delta_ws;
+    EdgeMarkovianNetwork net(n, p, q, seed);
+    Rng rng_a(seed * 7919);
+    const SpreadResult with_delta = run_async_jump(net, 0, rng_a, options);
+    EXPECT_GT(with_delta_ws.rate_model.delta_updates(), 0)
+        << "delta path never engaged; the heuristic or the family report broke";
+
+    EngineWorkspace rebuild_ws;
+    options.workspace = &rebuild_ws;
+    HiddenDeltaNetwork hidden(std::make_unique<EdgeMarkovianNetwork>(n, p, q, seed));
+    Rng rng_b(seed * 7919);
+    const SpreadResult rebuilt = run_async_jump(hidden, 0, rng_b, options);
+    EXPECT_EQ(rebuild_ws.rate_model.delta_updates(), 0);
+
+    EXPECT_EQ(with_delta.spread_time, rebuilt.spread_time);
+    EXPECT_EQ(with_delta.informed_count, rebuilt.informed_count);
+    EXPECT_EQ(with_delta.informative_contacts, rebuilt.informative_contacts);
+    EXPECT_EQ(with_delta.graph_changes, rebuilt.graph_changes);
+    EXPECT_EQ(with_delta.informed_flags, rebuilt.informed_flags);
+  }
+}
+
+}  // namespace
+}  // namespace rumor

@@ -99,19 +99,29 @@ RunnerOptions runner_options(const Cli& cli) {
 }
 
 // Per-chunk progress lines on stderr (opt-in via --progress): trials done,
-// elapsed wall time, and a simple linear ETA, so a million-node sweep is
-// never silent for minutes. stdout stays byte-identical — the smoke tests
-// assert the flag's absence keeps stderr quiet too.
+// elapsed wall time, cumulative throughput, and a linear ETA, so a
+// million-node sweep is never silent for minutes. Before any trial finished
+// (or before the clock measurably advanced) the rate and ETA have no basis —
+// they print as "--" instead of the misleading "eta 0.0s" the first chunk
+// used to claim; the ETA is additionally clamped at zero so float jitter on
+// the last chunk can never show a negative remainder. stdout stays
+// byte-identical — the smoke tests assert the flag's absence keeps stderr
+// quiet too, and scripts/check_cli_progress.sh pins the line format.
 std::function<void(int, int)> make_progress(const Cli& cli, const std::string& label) {
   if (!cli.get_bool("progress", false)) return {};
   auto timer = std::make_shared<Timer>();
   return [timer, label](int done, int total) {
     const double elapsed = timer->seconds();
-    const double eta = done > 0 ? elapsed / done * (total - done) : 0.0;
     std::ostringstream line;
     line << "progress [" << label << "] " << done << "/" << total << " trials  "
-         << std::fixed << std::setprecision(1) << elapsed << "s elapsed  eta " << eta
-         << "s\n";
+         << std::fixed << std::setprecision(1) << elapsed << "s elapsed  ";
+    if (done > 0 && elapsed > 0.0) {
+      const double rate = static_cast<double>(done) / elapsed;
+      const double eta = std::max(0.0, elapsed / done * (total - done));
+      line << rate << " trials/s  eta " << eta << "s\n";
+    } else {
+      line << "-- trials/s  eta --\n";
+    }
     std::cerr << line.str();
   };
 }
