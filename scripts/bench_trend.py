@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Render per-cell throughput trends across an ordered series of snapshots.
+
+Takes two or more BENCH_*.json / bench_out.json files (scripts/run_bench.sh
+output) in chronological order and prints one row per grid cell with that
+cell's spread-time throughput (trials / elapsed_seconds) in each snapshot,
+plus the last/first ratio where both endpoints measured the cell. Cells are
+identified by the same work-identifying manifest fields compare_bench.py
+gates on, so a cell tracks through snapshots that added manifest columns
+(threads, backend, shards, ...) along the way; a snapshot that did not
+measure a cell shows "-".
+
+Unlike compare_bench.py this never fails: it is a reporting tool, meant for
+eyeballing how each cell's throughput evolved across the checked-in BENCH
+history plus a fresh CI measurement, e.g.:
+
+  python3 scripts/bench_trend.py BENCH_*.json bench_out.json
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from compare_bench import load_summaries  # noqa: E402
+
+
+def render(paths):
+    snapshots = [(os.path.basename(p), load_summaries(p)) for p in paths]
+    cells = {}  # key -> label, in first-seen (chronological) order
+    for _, cols in snapshots:
+        for key, cell in cols.items():
+            cells.setdefault(key, cell["label"])
+
+    name_w = max([len("cell")] + [len(label) for label in cells.values()])
+    col_w = max([12] + [len(name) for name, _ in snapshots])
+    header = "%-*s" % (name_w, "cell")
+    for name, _ in snapshots:
+        header += "  %*s" % (col_w, name)
+    header += "  %10s" % "last/first"
+    lines = [header]
+
+    for key, label in cells.items():
+        row = "%-*s" % (name_w, label)
+        measured = []
+        for _, cols in snapshots:
+            if key in cols:
+                tps = cols[key]["throughput"]
+                measured.append(tps)
+                row += "  %*.2f" % (col_w, tps)
+            else:
+                row += "  %*s" % (col_w, "-")
+        ratio = "%.3f" % (measured[-1] / measured[0]) if len(measured) >= 2 else "-"
+        row += "  %10s" % ratio
+        lines.append(row)
+    return lines
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("snapshots", nargs="+",
+                        help="BENCH_*.json files, oldest first")
+    args = parser.parse_args()
+    missing = [p for p in args.snapshots if not os.path.exists(p)]
+    if missing:
+        parser.error("no such snapshot: %s" % ", ".join(missing))
+    print("\n".join(render(args.snapshots)))
+
+
+if __name__ == "__main__":
+    main()

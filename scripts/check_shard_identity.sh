@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Fast sharded-backend smoke for ctest: on small cells, `rumor_cli --shards N`
+# (coordinator + worker subprocesses, exec/sharded_backend.h) must emit
+# byte-identical output to the in-process run — same per-trial records AND
+# same summary aggregates, since the coordinator recomputes them from the
+# merged stream in trial order — while the manifest must record the sharded
+# execution topology. The full shard x thread identity matrix on mid-size
+# cells lives in check_thread_identity.sh; this is the seconds-scale version
+# run on every ctest invocation.
+#
+# Usage: scripts/check_shard_identity.sh path/to/rumor_cli
+set -euo pipefail
+cli=${1:?usage: check_shard_identity.sh path/to/rumor_cli}
+
+ref=$(mktemp); out=$(mktemp)
+trap 'rm -f "$ref" "$out"' EXIT
+
+run_cells() {  # $1 = shard count, $2 = output file
+  # A dynamic and a static cell; elapsed_seconds and RSS telemetry are the
+  # only legitimately varying fields, so strip them before comparing.
+  {
+    "$cli" run --scenario dynamic_star --n 64 --trials 7 --seed 3 \
+      --shards "$1" --json
+    "$cli" sweep --scenarios static_torus --engines async_jump,sync \
+      --rows 12 --cols 12 --trials 4 --seed 5 --shards "$1" --json
+  } | sed -E 's/"(elapsed_seconds|peak_rss_mb|worker_peak_rss_mb)":[^,}]*[,}]//g' \
+    | sed -E 's/"(backend|shards|worker_cmd|threads)":("[^"]*"|[0-9]+),?//g' > "$2"
+}
+
+run_cells 1 "$ref"
+for shards in 2 3; do
+  run_cells "$shards" "$out"
+  if ! diff -u "$ref" "$out"; then
+    echo "output differs between --shards 1 and --shards $shards" >&2
+    exit 1
+  fi
+done
+
+# The manifest must admit what it ran: a sharded run records the backend,
+# shard count, and the worker command line.
+manifest=$("$cli" run --scenario dynamic_star --n 64 --trials 4 --seed 3 \
+  --shards 2 --json | grep '"record":"summary"')
+for field in '"backend":"sharded"' '"shards":2' '"worker_cmd":"' '"worker_peak_rss_mb":'; do
+  if ! grep -qF "$field" <<<"$manifest"; then
+    echo "sharded manifest is missing $field" >&2
+    echo "$manifest" >&2
+    exit 1
+  fi
+done
+
+echo "sharded output byte-identical to in-process for shards={2,3}," \
+     "manifest records the sharded topology"

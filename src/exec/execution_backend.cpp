@@ -1,0 +1,19 @@
+#include "exec/execution_backend.h"
+
+#include "exec/in_process_backend.h"
+#include "exec/sharded_backend.h"
+
+namespace rumor {
+
+std::unique_ptr<ExecutionBackend> make_backend(const RunnerOptions& options) {
+  if (options.shards >= 2 && !options.worker_argv.empty()) {
+    return std::make_unique<ShardedBackend>();
+  }
+  return std::make_unique<InProcessBackend>();
+}
+
+std::string backend_name(const RunnerOptions& options) {
+  return options.shards >= 2 && !options.worker_argv.empty() ? "sharded" : "in-process";
+}
+
+}  // namespace rumor

@@ -1,0 +1,50 @@
+// ExecutionBackend: where a batch of trials actually runs.
+//
+// core/runner.h's run_trials() is a thin dispatch over implementations of
+// this interface. Every backend honours the same contract: trial i's RNG
+// streams are the counter-based function of (options.seed, trial_offset + i)
+// defined in in_process_backend.h, results are aggregated and streamed
+// through options.trial_sink in global trial order, and the produced records
+// are byte-identical for any placement — thread count, chunk size, shard
+// count, or process boundary (docs/ARCHITECTURE.md, "The execution layer").
+//
+// Implementations:
+//  * InProcessBackend (in_process_backend.h) — chunked execution over the
+//    shared TrialPool; the default, and the leaf executor inside every
+//    sharded worker.
+//  * ShardedBackend (sharded_backend.h) — partitions the trial range over
+//    self-spawned worker subprocesses and merges their JSON-lines streams;
+//    selected by RunnerOptions::shards >= 2 + a non-empty worker_argv.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/runner.h"
+
+namespace rumor {
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  // Stable name recorded in the reproducibility manifest ("in-process",
+  // "sharded").
+  virtual std::string name() const = 0;
+
+  // Runs options.trials trials and returns the aggregated report. The
+  // factory is the in-process construction path; the sharded backend ignores
+  // it and replays the equivalent experiment via its worker command line.
+  virtual RunnerReport run(const NetworkFactory& factory,
+                           const RunnerOptions& options) = 0;
+};
+
+// Selects the backend options ask for: ShardedBackend when shards >= 2 and a
+// worker command is configured, InProcessBackend otherwise.
+std::unique_ptr<ExecutionBackend> make_backend(const RunnerOptions& options);
+
+// The name make_backend(options)->name() would report, without constructing
+// the backend — manifest writers call this.
+std::string backend_name(const RunnerOptions& options);
+
+}  // namespace rumor

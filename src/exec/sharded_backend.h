@@ -1,0 +1,50 @@
+// ShardedBackend: multi-process trial execution over worker subprocesses.
+//
+// The coordinator partitions [trial_offset, trial_offset + trials) into
+// contiguous per-shard sub-ranges, spawns one worker per shard from
+// RunnerOptions::worker_argv (appending `--trial-offset B --trials K
+// --threads T`), and reads each worker's JSON-lines stream — one trial
+// record per line, then a shard_done sentinel — off its stdout pipe
+// (support/subprocess.h, support/jsonl.h). Records are merged strictly in
+// global trial order: shard s+1's buffered lines are only consumed after
+// shard s delivered its full range, so the sink sees exactly the sequence
+// the in-process backend would produce. Because per-trial seeds are
+// counter-based on the global index, each worker's records are byte-for-byte
+// the same lines the in-process run would emit for that range, and the
+// parsed values round-trip exactly (support/json.h prints doubles with
+// round-trip precision) — so aggregates recomputed here in trial order are
+// bit-identical too. Placement cannot affect bytes.
+//
+// Failure semantics: a worker that dies mid-stream (EOF before its sentinel,
+// a partial trailing line, a record-count mismatch, or a non-zero exit)
+// aborts the run with an error naming the shard and its trial range; the
+// remaining workers are killed and reaped on unwind, never leaked or hung.
+#pragma once
+
+#include <vector>
+
+#include "exec/execution_backend.h"
+
+namespace rumor {
+
+// One worker's contiguous slice of the global trial range.
+struct ShardRange {
+  int begin = 0;  // global index of the shard's first trial
+  int count = 0;
+};
+
+// Balanced contiguous partition of `trials` trials starting at trial_offset:
+// the first trials % shards shards take one extra trial. `shards` is clamped
+// to the trial count; every returned shard is non-empty.
+std::vector<ShardRange> plan_shards(int trials, int shards, int trial_offset);
+
+class ShardedBackend : public ExecutionBackend {
+ public:
+  std::string name() const override { return "sharded"; }
+
+  // Ignores `factory`: the worker command line reconstructs the equivalent
+  // experiment in each subprocess.
+  RunnerReport run(const NetworkFactory& factory, const RunnerOptions& options) override;
+};
+
+}  // namespace rumor

@@ -1,0 +1,100 @@
+#include "support/jsonl.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace rumor {
+
+bool LineReader::drain(std::vector<std::string>& out) {
+  if (eof_) return false;
+  char buf[65536];
+  ssize_t got;
+  do {
+    got = read(fd_, buf, sizeof(buf));
+  } while (got < 0 && errno == EINTR);
+  if (got < 0) throw std::runtime_error(std::string("read: ") + std::strerror(errno));
+  if (got == 0) {
+    eof_ = true;
+    return false;
+  }
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(got); ++i) {
+    if (buf[i] == '\n') {
+      partial_.append(buf + start, i - start);
+      out.push_back(std::move(partial_));
+      partial_.clear();
+      start = i + 1;
+    }
+  }
+  partial_.append(buf + start, static_cast<std::size_t>(got) - start);
+  return true;
+}
+
+bool jsonl_get_raw(const std::string& line, const std::string& key, std::string* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t begin = at + needle.size();
+  // A value ends at the next top-level ',' or the closing '}'; the records
+  // this scanner serves are flat, so the only nesting to respect is a string
+  // value (which by the header contract contains no escapes).
+  std::size_t end = begin;
+  bool in_string = false;
+  while (end < line.size()) {
+    const char c = line[end];
+    if (c == '"') in_string = !in_string;
+    if (!in_string && (c == ',' || c == '}')) break;
+    ++end;
+  }
+  *out = line.substr(begin, end - begin);
+  return true;
+}
+
+bool jsonl_get_int(const std::string& line, const std::string& key, std::int64_t* out) {
+  std::string raw;
+  if (!jsonl_get_raw(line, key, &raw)) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || errno == ERANGE) return false;
+  *out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+bool jsonl_get_double(const std::string& line, const std::string& key, double* out) {
+  std::string raw;
+  if (!jsonl_get_raw(line, key, &raw)) return false;
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str()) return false;
+  *out = v;
+  return true;
+}
+
+bool jsonl_get_bool(const std::string& line, const std::string& key, bool* out) {
+  std::string raw;
+  if (!jsonl_get_raw(line, key, &raw)) return false;
+  if (raw == "true") {
+    *out = true;
+    return true;
+  }
+  if (raw == "false") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+bool jsonl_get_string(const std::string& line, const std::string& key, std::string* out) {
+  std::string raw;
+  if (!jsonl_get_raw(line, key, &raw)) return false;
+  if (raw.size() < 2 || raw.front() != '"' || raw.back() != '"') return false;
+  *out = raw.substr(1, raw.size() - 2);
+  return true;
+}
+
+}  // namespace rumor

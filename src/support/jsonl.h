@@ -1,0 +1,54 @@
+// JSON-lines message framing for the multi-process execution backend.
+//
+// The shard protocol is newline-framed JSON records on a pipe: a worker
+// streams one flat {"record":"trial",...} object per line followed by a
+// single {"record":"shard_done",...} sentinel. LineReader turns the byte
+// stream of a file descriptor into complete lines (keeping any unterminated
+// tail as truncation evidence), and the jsonl_get_* scanners pull typed
+// top-level fields out of one such line without a general JSON parser.
+//
+// The scanners are deliberately minimal: they assume a flat record whose
+// string values contain no escapes — exactly what support/json.h's writer
+// emits for trial records — and match keys by their quoted form, so a key
+// name embedded in a string value could confuse them. The execution layer
+// only ever feeds them records it produced itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rumor {
+
+// Incremental line framing over a pipe/socket fd (not owned). Call drain()
+// whenever the fd is readable (e.g. after poll); it performs one read() and
+// appends every newly completed line (newline stripped) to `out`.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  // Returns false once the fd reached EOF (no further lines will come).
+  // Throws std::runtime_error on a read error.
+  bool drain(std::vector<std::string>& out);
+
+  // Bytes received after the last newline; non-empty at EOF means the peer
+  // died mid-record.
+  const std::string& partial() const { return partial_; }
+
+  bool eof() const { return eof_; }
+
+ private:
+  int fd_;
+  bool eof_ = false;
+  std::string partial_;
+};
+
+// Top-level field scanners for one flat JSON-lines record. Each returns true
+// and fills *out when `key` is present with a value of the right shape.
+bool jsonl_get_raw(const std::string& line, const std::string& key, std::string* out);
+bool jsonl_get_int(const std::string& line, const std::string& key, std::int64_t* out);
+bool jsonl_get_double(const std::string& line, const std::string& key, double* out);
+bool jsonl_get_bool(const std::string& line, const std::string& key, bool* out);
+bool jsonl_get_string(const std::string& line, const std::string& key, std::string* out);
+
+}  // namespace rumor

@@ -1,0 +1,147 @@
+#include "support/subprocess.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace rumor {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
+  if (argv.empty()) throw std::runtime_error("Subprocess::spawn: empty argv");
+
+  // out_pipe carries the child's stdout; err_pipe (close-on-exec) reports an
+  // exec failure back to the parent — it closes silently on success.
+  int out_pipe[2];
+  int err_pipe[2];
+  if (pipe(out_pipe) != 0) throw_errno("pipe");
+  if (pipe(err_pipe) != 0) {
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    throw_errno("pipe");
+  }
+  fcntl(err_pipe[1], F_SETFD, FD_CLOEXEC);
+
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    close(err_pipe[0]);
+    close(err_pipe[1]);
+    throw_errno("fork");
+  }
+  if (pid == 0) {
+    // Child: only async-signal-safe calls until exec.
+    close(out_pipe[0]);
+    close(err_pipe[0]);
+    if (dup2(out_pipe[1], STDOUT_FILENO) < 0) _exit(127);
+    close(out_pipe[1]);
+    execvp(cargv[0], cargv.data());
+    const int err = errno;
+    // exec failed: hand errno to the parent through the CLOEXEC pipe.
+    ssize_t ignored = write(err_pipe[1], &err, sizeof(err));
+    (void)ignored;
+    _exit(127);
+  }
+
+  close(out_pipe[1]);
+  close(err_pipe[1]);
+
+  int exec_errno = 0;
+  const ssize_t got = read(err_pipe[0], &exec_errno, sizeof(exec_errno));
+  close(err_pipe[0]);
+  if (got > 0) {
+    close(out_pipe[0]);
+    int status = 0;
+    waitpid(pid, &status, 0);
+    throw std::runtime_error("exec '" + argv[0] +
+                             "' failed: " + std::strerror(exec_errno));
+  }
+
+  Subprocess p;
+  p.stdout_fd_ = out_pipe[0];
+  p.pid_ = pid;
+  return p;
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : stdout_fd_(std::exchange(other.stdout_fd_, -1)),
+      pid_(std::exchange(other.pid_, -1)),
+      reaped_(std::exchange(other.reaped_, false)),
+      status_(other.status_) {}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    kill();
+    wait_if_needed();
+    close_stdout();
+    stdout_fd_ = std::exchange(other.stdout_fd_, -1);
+    pid_ = std::exchange(other.pid_, -1);
+    reaped_ = std::exchange(other.reaped_, false);
+    status_ = other.status_;
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() {
+  kill();
+  wait_if_needed();
+  close_stdout();
+}
+
+void Subprocess::close_stdout() {
+  if (stdout_fd_ >= 0) {
+    close(stdout_fd_);
+    stdout_fd_ = -1;
+  }
+}
+
+void Subprocess::wait_if_needed() {
+  if (pid_ >= 0 && !reaped_) wait();
+}
+
+int Subprocess::wait() {
+  if (pid_ < 0) return status_;
+  if (!reaped_) {
+    int status = 0;
+    pid_t r;
+    do {
+      r = waitpid(static_cast<pid_t>(pid_), &status, 0);
+    } while (r < 0 && errno == EINTR);
+    reaped_ = true;
+    if (r < 0) {
+      status_ = -1;
+    } else if (WIFEXITED(status)) {
+      status_ = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      status_ = 128 + WTERMSIG(status);
+    } else {
+      status_ = -1;
+    }
+  }
+  return status_;
+}
+
+void Subprocess::kill() {
+  if (pid_ >= 0 && !reaped_) ::kill(static_cast<pid_t>(pid_), SIGKILL);
+}
+
+}  // namespace rumor

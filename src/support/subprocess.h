@@ -1,0 +1,59 @@
+// Minimal POSIX subprocess spawner for the sharded execution backend.
+//
+// Spawns argv with the child's stdout connected to a pipe the parent reads;
+// stderr is inherited so worker diagnostics surface on the coordinator's
+// stderr unmodified. The parent half is move-only and owns both the pipe fd
+// and the pid: destruction kills (SIGKILL) and reaps any child still
+// running, so a coordinator unwinding on error can never leak workers.
+//
+// Only the fork/exec window uses async-signal-safe calls, which keeps the
+// spawn correct in a process that already runs TrialPool helper threads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rumor {
+
+class Subprocess {
+ public:
+  // Starts argv[0] (resolved via PATH) with stdout piped. Throws
+  // std::runtime_error when the pipe/fork fails or the exec fails inside the
+  // child (reported through the pipe, so a bad worker path is a clean error,
+  // not a hung read).
+  static Subprocess spawn(const std::vector<std::string>& argv);
+
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  ~Subprocess();
+
+  // Read end of the child's stdout pipe; owned by this object.
+  int stdout_fd() const { return stdout_fd_; }
+
+  // Closes the read end early (before destruction / wait()).
+  void close_stdout();
+
+  // Blocks until the child exits and returns its status: the exit code for a
+  // normal exit, 128 + signal number when killed by a signal. Idempotent.
+  int wait();
+
+  // SIGKILLs the child if it has not been reaped yet (wait() still works and
+  // will report the kill signal).
+  void kill();
+
+  // True between spawn() and the first completed wait().
+  bool reaped() const { return reaped_; }
+
+ private:
+  Subprocess() = default;
+  void wait_if_needed();
+
+  int stdout_fd_ = -1;
+  long pid_ = -1;
+  bool reaped_ = false;
+  int status_ = -1;
+};
+
+}  // namespace rumor

@@ -15,6 +15,8 @@
 //   $ rumor_cli run --scenario dynamic_star --n 256 --trials 30 --seed 1 --json
 //   $ rumor_cli sweep --scenarios static_clique,dynamic_star
 //         --engines async_jump,sync --sweep n=128,256 --trials 10 --csv
+#include <unistd.h>
+
 #include <algorithm>
 #include <iomanip>
 #include <iostream>
@@ -30,6 +32,7 @@
 #include "scenarios/experiment.h"
 #include "support/cli.h"
 #include "support/json.h"
+#include "support/resource.h"
 #include "support/table.h"
 #include "support/timer.h"
 
@@ -41,14 +44,27 @@ namespace rumor {
 namespace {
 
 // Driver options; everything else is treated as a scenario parameter.
+// "shards" selects the multi-process backend; "trial-offset" and "bound-cap"
+// are internal plumbing of the hidden `worker` subcommand.
 const std::set<std::string>& reserved_options() {
   static const std::set<std::string> names = {
       "scenario", "scenarios", "engine",      "engines",     "protocol", "protocols",
       "trials",   "seed",      "threads",     "bounds",      "failure",  "clock-rate",
       "time-limit", "round-limit", "source",  "sweep",       "json",     "csv",
-      "markdown", "help",      "progress",    "scale",       "chunk",
+      "markdown", "help",      "progress",    "scale",       "chunk",    "shards",
+      "trial-offset", "bound-cap",
   };
   return names;
+}
+
+// The path workers are spawned from: this very binary, re-invoked with the
+// hidden `worker` subcommand. /proc/self/exe survives PATH-relative and
+// cwd-relative invocations; argv[0] is the portable fallback.
+std::string self_binary_path(const char* argv0) {
+  char buf[4096];
+  const ssize_t len = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (len > 0) return std::string(buf, static_cast<std::size_t>(len));
+  return argv0 != nullptr ? std::string(argv0) : std::string();
 }
 
 std::vector<std::string> split_list(const std::string& text) {
@@ -84,7 +100,9 @@ RunnerOptions runner_options(const Cli& cli) {
   opt.trials = static_cast<int>(cli.get_int("trials", scale ? 8 : 30));
   opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   opt.threads = static_cast<int>(cli.get_int("threads", scale ? hw : 1));
+  opt.shards = static_cast<int>(cli.get_int("shards", 1));
   opt.chunk_trials = static_cast<int>(cli.get_int("chunk", 0));
+  opt.bound_continuation_cap = cli.get_int("bound-cap", opt.bound_continuation_cap);
   opt.clock_rate = cli.get_double("clock-rate", 1.0);
   opt.time_limit = cli.get_double("time-limit", opt.time_limit);
   opt.round_limit = cli.get_int("round-limit", opt.round_limit);
@@ -186,7 +204,40 @@ int cmd_describe(const Cli& cli) {
   return 0;
 }
 
-int cmd_run(const Cli& cli) {
+// Hidden worker mode: one shard of a sharded run. Reconstructs the
+// experiment from the command line the coordinator composed
+// (scenarios/experiment.cpp make_worker_argv), runs its trial sub-range
+// in-process with global trial indices (--trial-offset), and streams the
+// shard protocol on stdout: one trial record per line — byte-identical to
+// the lines the in-process run would emit for those trials — then the
+// shard_done sentinel with this process's peak RSS. Flushed per record so
+// the coordinator's in-order merge advances while trials are still running.
+int cmd_worker(const Cli& cli) {
+  ExperimentConfig config;
+  config.scenario = cli.get("scenario", "");
+  config.param_overrides = scenario_overrides(cli);
+  config.runner = runner_options(cli);
+  config.runner.shards = 1;  // workers never recurse into sharding
+  config.runner.trial_offset = static_cast<int>(cli.get_int("trial-offset", 0));
+
+  const TrialSink sink = [](const ExperimentResult& r, int trial, const SpreadResult& t) {
+    emit_trial_json(std::cout, r, trial, t);
+    std::cout.flush();
+  };
+  const ExperimentResult result = run_experiment(config, sink);
+
+  JsonWriter json(std::cout);
+  json.begin_object()
+      .field("record", "shard_done")
+      .field("offset", static_cast<std::int64_t>(config.runner.trial_offset))
+      .field("trials", result.report.trials)
+      .field("peak_rss_mb", static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0))
+      .end_object();
+  std::cout << '\n' << std::flush;
+  return 0;
+}
+
+int cmd_run(const Cli& cli, const std::string& self) {
   // Sweep-only options would otherwise be reserved-but-ignored here, and a
   // plural slip (--engines for --engine) must not silently run defaults.
   const std::pair<const char*, const char*> sweep_only[] = {
@@ -207,6 +258,7 @@ int cmd_run(const Cli& cli) {
   config.param_overrides = scenario_overrides(cli);
   config.runner = runner_options(cli);
   config.runner.progress = make_progress(cli, config.scenario);
+  config.worker_binary = self;  // --shards N re-invokes this binary per shard
 
   // Per-trial records stream through a sink as chunks complete instead of
   // being buffered in the report, so --json/--csv stay memory-bounded at
@@ -230,7 +282,7 @@ int cmd_run(const Cli& cli) {
   return 0;
 }
 
-int cmd_sweep(const Cli& cli) {
+int cmd_sweep(const Cli& cli, const std::string& self) {
   std::vector<std::string> scenarios = split_list(cli.get("scenarios", cli.get("scenario", "")));
   if (scenarios.empty()) {
     std::cerr << "sweep needs --scenarios a,b,... (or --scenario NAME)\n";
@@ -288,6 +340,7 @@ int cmd_sweep(const Cli& cli) {
           config.param_overrides = scenario_overrides(cli);
           if (!sweep_name.empty()) config.param_overrides[sweep_name] = value;
           config.runner = runner_options(cli);
+          config.worker_binary = self;
           config.runner.engine = parse_engine(engine);
           config.runner.protocol = parse_protocol(protocol);
           std::string label = scenario;
@@ -336,6 +389,10 @@ int usage(std::ostream& os, int code) {
         "  --scale     large-n preset: threads = hardware concurrency, trials 8\n"
         "              (explicit --threads/--trials win); results are always\n"
         "              bit-identical to --threads 1\n"
+        "  --shards N  sharded multi-process backend: the trial range splits\n"
+        "              across N worker subprocesses (threads divided between\n"
+        "              them), bounding per-process memory; records stay\n"
+        "              byte-identical to the in-process run\n"
         "  --progress  per-chunk 'done/total, elapsed, ETA' lines on stderr\n"
         "  --chunk C   trials aggregated per chunk (memory bound; 0 = auto)\n";
   return code;
@@ -350,8 +407,11 @@ int dispatch(int argc, char** argv) {
   const Cli cli(argc - 1, argv + 1);
   if (subcommand == "list") return cmd_list(cli);
   if (subcommand == "describe") return cmd_describe(cli);
-  if (subcommand == "run") return cmd_run(cli);
-  if (subcommand == "sweep") return cmd_sweep(cli);
+  if (subcommand == "run") return cmd_run(cli, self_binary_path(argv[0]));
+  if (subcommand == "sweep") return cmd_sweep(cli, self_binary_path(argv[0]));
+  // Hidden: one shard of a sharded run (spawned by the coordinator, not
+  // listed in usage).
+  if (subcommand == "worker") return cmd_worker(cli);
   std::cerr << "unknown subcommand '" << subcommand << "'\n\n";
   return usage(std::cerr, 2);
 }
