@@ -7,6 +7,11 @@
 # Usage: scripts/check_cli_progress.sh path/to/rumor_cli
 set -euo pipefail
 cli=${1:?usage: check_cli_progress.sh path/to/rumor_cli}
+if [ ! -x "$cli" ]; then
+  echo "check_cli_progress.sh: rumor_cli not found or not executable at '$cli'" >&2
+  echo "  build it first: cmake --build build --target rumor_cli" >&2
+  exit 2
+fi
 
 run_args=(run --scenario static_clique --n 32 --trials 6 --seed 3 --chunk 2 --json)
 

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Replay harness smoke: record a sweep, then prove both directions of the
+# contract end to end through `rumor_cli replay`:
+#
+#   positive — replaying the fresh recording reproduces every record byte for
+#     byte (exit 0), including under --threads/--shards overrides, since the
+#     records are invariant to execution topology;
+#   negative — a deliberately perturbed record fails with a divergence
+#     message naming the trial and field; a corrupted manifest (unknown
+#     scenario) and a truncated recording fail with named, actionable errors.
+#
+# The negative legs are the teeth: they prove replay actually compares bytes
+# rather than vacuously succeeding.
+#
+# Usage: scripts/check_replay.sh path/to/rumor_cli
+set -euo pipefail
+cli=${1:?usage: check_replay.sh path/to/rumor_cli}
+if [ ! -x "$cli" ]; then
+  echo "check_replay.sh: rumor_cli not found or not executable at '$cli'" >&2
+  echo "  build it first: cmake --build build --target rumor_cli" >&2
+  exit 2
+fi
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+rec=$dir/recorded.jsonl
+
+fail() { echo "check_replay.sh: $1" >&2; exit 1; }
+
+# One static and two dynamic families, both engine kinds: 4 cells, 12 trials.
+"$cli" sweep --scenarios clique_bridge,edge_markovian --engines async_jump,sync \
+  --sweep n=48 --trials 3 --seed 11 --json > "$rec"
+
+# --- positive: fresh recording replays byte-identically ---------------------
+"$cli" replay "$rec" > /dev/null \
+  || fail "replay of a fresh recording did not reproduce it"
+"$cli" replay "$rec" --threads 4 > /dev/null \
+  || fail "replay --threads 4 did not reproduce the single-threaded recording"
+"$cli" replay "$rec" --shards 2 > /dev/null \
+  || fail "replay --shards 2 did not reproduce the in-process recording"
+
+# The recording's fingerprint must match a from-scratch fingerprint of the
+# same grid — file mode hashes recorded bytes, grid mode hashes a re-run.
+diff <("$cli" fingerprint "$rec") \
+     <("$cli" fingerprint --scenarios clique_bridge,edge_markovian \
+         --engines async_jump,sync --sweep n=48 --trials 3 --seed 11) \
+  || fail "fingerprint of the recording differs from a fresh fingerprint run"
+
+# --- negative: perturbed record must fail naming trial and field ------------
+sed '2s/"spread_time":[0-9.e+-]*/"spread_time":1234.5/' "$rec" > "$dir/perturbed.jsonl"
+cmp -s "$rec" "$dir/perturbed.jsonl" && fail "perturbation sed matched nothing"
+if "$cli" replay "$dir/perturbed.jsonl" > /dev/null 2> "$dir/err"; then
+  fail "replay accepted a perturbed record"
+fi
+grep -q "trial 1" "$dir/err" && grep -q "spread_time" "$dir/err" \
+  || { cat "$dir/err" >&2; fail "divergence message does not name trial 1 / spread_time"; }
+
+# --- negative: corrupted manifest names the unknown scenario ----------------
+sed 's/"manifest":{"scenario":"clique_bridge"/"manifest":{"scenario":"no_such_scenario"/' \
+  "$rec" > "$dir/badscenario.jsonl"
+cmp -s "$rec" "$dir/badscenario.jsonl" && fail "scenario perturbation sed matched nothing"
+if "$cli" replay "$dir/badscenario.jsonl" > /dev/null 2> "$dir/err"; then
+  fail "replay accepted a manifest with an unknown scenario"
+fi
+grep -q "no_such_scenario" "$dir/err" \
+  || { cat "$dir/err" >&2; fail "error does not name the unknown scenario"; }
+
+# --- negative: truncated records are detected before any re-run -------------
+sed '2d' "$rec" > "$dir/truncated.jsonl"
+if "$cli" replay "$dir/truncated.jsonl" > /dev/null 2> "$dir/err"; then
+  fail "replay accepted a truncated recording"
+fi
+grep -q "truncated records" "$dir/err" \
+  || { cat "$dir/err" >&2; fail "error does not report the truncation"; }
+
+echo "replay smoke OK: fresh recording byte-identical (incl. --threads 4," \
+     "--shards 2); perturbed record, corrupt manifest, truncated records" \
+     "all fail with named errors"

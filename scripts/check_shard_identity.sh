@@ -11,9 +11,14 @@
 # Usage: scripts/check_shard_identity.sh path/to/rumor_cli
 set -euo pipefail
 cli=${1:?usage: check_shard_identity.sh path/to/rumor_cli}
+if [ ! -x "$cli" ]; then
+  echo "check_shard_identity.sh: rumor_cli not found or not executable at '$cli'" >&2
+  echo "  build it first: cmake --build build --target rumor_cli" >&2
+  exit 2
+fi
 
-ref=$(mktemp); out=$(mktemp)
-trap 'rm -f "$ref" "$out"' EXIT
+ref=$(mktemp); out=$(mktemp); rec=$(mktemp)
+trap 'rm -f "$ref" "$out" "$rec"' EXIT
 
 run_cells() {  # $1 = shard count, $2 = output file
   # A dynamic and a static cell; elapsed_seconds and RSS telemetry are the
@@ -36,6 +41,22 @@ for shards in 2 3; do
   fi
 done
 
+# Same contract through the reproducibility harness: record the cells
+# in-process, then replay the recording on the sharded backend. replay
+# byte-diffs every record against the recording, so a single drifted field
+# fails with the trial and field named.
+{
+  "$cli" run --scenario dynamic_star --n 64 --trials 7 --seed 3 --json
+  "$cli" sweep --scenarios static_torus --engines async_jump,sync \
+    --rows 12 --cols 12 --trials 4 --seed 5 --json
+} > "$rec"
+for shards in 2 3; do
+  if ! "$cli" replay "$rec" --shards "$shards" > /dev/null; then
+    echo "replay --shards $shards diverged from the in-process recording" >&2
+    exit 1
+  fi
+done
+
 # The manifest must admit what it ran: a sharded run records the backend,
 # shard count, and the worker command line.
 manifest=$("$cli" run --scenario dynamic_star --n 64 --trials 4 --seed 3 \
@@ -48,5 +69,5 @@ for field in '"backend":"sharded"' '"shards":2' '"worker_cmd":"' '"worker_peak_r
   fi
 done
 
-echo "sharded output byte-identical to in-process for shards={2,3}," \
-     "manifest records the sharded topology"
+echo "sharded output byte-identical to in-process for shards={2,3}" \
+     "(direct diff + replay harness), manifest records the sharded topology"

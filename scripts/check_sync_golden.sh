@@ -1,31 +1,41 @@
 #!/usr/bin/env bash
 # Golden regression: the sync engine's per-seed, per-trial results must be
-# bit-identical to the recorded tests/golden/sync_per_trial.jsonl. Catches
-# any accidental change to the sync engine's RNG consumption order or to a
-# dynamic family's per-seed graph sequence. Provenance: captured by the
-# pre-refactor build at 86822bb, with the edge_markovian records re-captured
-# once in PR 5 when that family adopted the portable tiled sequence contract
+# bit-identical to the recorded golden. Catches any accidental change to the
+# sync engine's RNG consumption order or to a dynamic family's per-seed graph
+# sequence.
+#
+# Since the reproducibility harness landed, the golden is a full recording —
+# tests/golden/sync_recording.jsonl, per-trial records plus the manifests
+# that describe how to re-run them — and this script is a thin driver over
+# `rumor_cli replay`, which reconstructs each cell from its manifest, re-runs
+# it, and byte-diffs every record (first divergent trial and field named on
+# failure). tests/golden/sync_per_trial.jsonl is the same 50 trial lines in
+# their original pre-harness form; the first diff below keeps the two golden
+# files from ever drifting apart. Provenance: captured by the pre-refactor
+# build at 86822bb, with the edge_markovian records re-captured once in PR 5
+# when that family adopted the portable tiled sequence contract
 # (docs/ARCHITECTURE.md); every other scenario's records are original.
 #
 # Usage: scripts/check_sync_golden.sh path/to/rumor_cli
 set -euo pipefail
 cli=${1:?usage: check_sync_golden.sh path/to/rumor_cli}
+if [ ! -x "$cli" ]; then
+  echo "check_sync_golden.sh: rumor_cli not found or not executable at '$cli'" >&2
+  echo "  build it first: cmake --build build --target rumor_cli" >&2
+  exit 2
+fi
 cd "$(dirname "$0")/.."
 
-tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+if ! diff -u tests/golden/sync_per_trial.jsonl \
+     <(grep '"record":"trial"' tests/golden/sync_recording.jsonl); then
+  echo "tests/golden/sync_recording.jsonl trial records drifted from" \
+       "tests/golden/sync_per_trial.jsonl — the two golden files must stay" \
+       "line-identical; re-record both together or revert" >&2
+  exit 1
+fi
 
-"$cli" sweep \
-  --scenarios static_clique,static_expander,dynamic_star,clique_bridge,edge_markovian,mobile_geometric \
-  --engines sync --sweep n=128 --trials 5 --seed 7 --threads 1 --json \
-  | grep '"record":"trial"' > "$tmp"
-"$cli" sweep \
-  --scenarios diligent_adversary,absolute_adversary,edge_sampling_expander,intermittent_expander \
-  --engines sync --sweep n=128 --trials 5 --seed 7 --threads 1 --json \
-  | grep '"record":"trial"' >> "$tmp"
-
-if ! diff -u tests/golden/sync_per_trial.jsonl "$tmp"; then
-  echo "sync engine per-seed results drifted from the golden records" >&2
+if ! "$cli" replay tests/golden/sync_recording.jsonl; then
+  echo "sync engine per-seed results drifted from the golden recording" >&2
   exit 1
 fi
 echo "sync per-trial records bit-identical to golden (50 trials, 10 scenarios)"

@@ -3,7 +3,9 @@
 # every execution topology. Counter-based trial seeds + index-addressed
 # results + in-order chunk aggregation make the runner's output a pure
 # function of (scenario, params, engine, seed); this script proves it end to
-# end through rumor_cli along two axes:
+# end through `rumor_cli fingerprint` — each run reduces a cell's record
+# stream to one SHA-256 line that omits the topology, so runs from different
+# thread/shard counts diff directly:
 #
 #   threads — threads=1 vs a many-worker run on mid-size cells, plus one
 #     trials=2 cell where the surplus-thread policy (workers = trials,
@@ -17,58 +19,61 @@
 #     records a pure function of its global trial indices, and the
 #     coordinator merges shard streams in trial order, so any shard count
 #     (and any thread split across workers) must reproduce the
-#     single-process bytes exactly.
+#     single-process fingerprints exactly.
 #
 # Usage: scripts/check_thread_identity.sh path/to/rumor_cli [threads]
 set -euo pipefail
 cli=${1:?usage: check_thread_identity.sh path/to/rumor_cli [threads]}
 threads=${2:-8}
+if [ ! -x "$cli" ]; then
+  echo "check_thread_identity.sh: rumor_cli not found or not executable at '$cli'" >&2
+  echo "  build it first: cmake --build build --target rumor_cli" >&2
+  exit 2
+fi
 
 tmp1=$(mktemp); tmpN=$(mktemp); shard_ref=$(mktemp); shard_out=$(mktemp)
 trap 'rm -f "$tmp1" "$tmpN" "$shard_ref" "$shard_out"' EXIT
 
 run_matrix() {  # $1 = thread count, $2 = output file
-  "$cli" sweep --scenarios edge_markovian --engines async_jump,async_tick \
+  "$cli" fingerprint --scenarios edge_markovian --engines async_jump,async_tick \
     --sweep n=20000 --p 8e-05 --q 0.2 \
-    --trials 6 --seed 9 --threads "$1" --json | grep '"record":"trial"' > "$2"
-  "$cli" sweep --scenarios static_torus --engines async_jump,async_tick \
+    --trials 6 --seed 9 --threads "$1" > "$2"
+  "$cli" fingerprint --scenarios static_torus --engines async_jump,async_tick \
     --rows 141 --cols 141 \
-    --trials 6 --seed 9 --threads "$1" --json | grep '"record":"trial"' >> "$2"
+    --trials 6 --seed 9 --threads "$1" >> "$2"
   # trials < threads: with $1 > 2 this runs 2 workers x ($1/2) rebuild
   # threads, driving the tiled rebuild code path itself.
-  "$cli" sweep --scenarios edge_sampling_expander --engines async_jump \
+  "$cli" fingerprint --scenarios edge_sampling_expander --engines async_jump \
     --sweep n=20000 --d 4 --p 0.5 \
-    --trials 2 --seed 9 --threads "$1" --json | grep '"record":"trial"' >> "$2"
+    --trials 2 --seed 9 --threads "$1" >> "$2"
   # Near-stationary edge-Markovian (tiny churn at mean degree 8): the jump
   # engine takes the O(Δ·deg) delta rate path at quiet change-points, and the
   # surplus threads drive the family's tiled parallel evolution — both must
   # leave the records byte-identical to the serial run.
-  "$cli" sweep --scenarios edge_markovian --engines async_jump \
+  "$cli" fingerprint --scenarios edge_markovian --engines async_jump \
     --sweep n=40000 --p 2e-08 --q 0.0001 \
-    --trials 2 --seed 9 --threads "$1" --json | grep '"record":"trial"' >> "$2"
+    --trials 2 --seed 9 --threads "$1" >> "$2"
 }
 
 run_matrix 1 "$tmp1"
 run_matrix "$threads" "$tmpN"
 
 if ! diff -u "$tmp1" "$tmpN"; then
-  echo "per-trial records differ between --threads 1 and --threads $threads" >&2
+  echo "per-trial fingerprints differ between --threads 1 and --threads $threads" >&2
   exit 1
 fi
-echo "per-trial records byte-identical: threads=1 vs threads=$threads" \
-     "($(wc -l < "$tmp1") trials over 6 cells, incl. tiled-rebuild and delta-path cells)"
+echo "record fingerprints byte-identical: threads=1 vs threads=$threads" \
+     "($(wc -l < "$tmp1") cells, incl. tiled-rebuild and delta-path cells)"
 
 # --- shard axis -------------------------------------------------------------
 
 run_shard_cells() {  # $1 = shard count, $2 = thread count, $3 = output file
-  "$cli" sweep --scenarios static_torus --engines async_jump,async_tick \
+  "$cli" fingerprint --scenarios static_torus --engines async_jump,async_tick \
     --rows 141 --cols 141 \
-    --trials 6 --seed 9 --shards "$1" --threads "$2" --json \
-    | grep '"record":"trial"' > "$3"
-  "$cli" sweep --scenarios edge_markovian --engines async_jump \
+    --trials 6 --seed 9 --shards "$1" --threads "$2" > "$3"
+  "$cli" fingerprint --scenarios edge_markovian --engines async_jump \
     --sweep n=40000 --p 2e-08 --q 0.0001 \
-    --trials 2 --seed 9 --shards "$1" --threads "$2" --json \
-    | grep '"record":"trial"' >> "$3"
+    --trials 2 --seed 9 --shards "$1" --threads "$2" >> "$3"
 }
 
 run_shard_cells 1 1 "$shard_ref"
@@ -76,11 +81,11 @@ for shards in 2 4; do
   for t in 1 "$threads"; do
     run_shard_cells "$shards" "$t" "$shard_out"
     if ! diff -u "$shard_ref" "$shard_out"; then
-      echo "per-trial records differ: --shards $shards --threads $t" \
+      echo "record fingerprints differ: --shards $shards --threads $t" \
            "vs in-process --threads 1" >&2
       exit 1
     fi
   done
 done
-echo "per-trial records byte-identical: shards={1,2,4} x threads={1,$threads}" \
-     "($(wc -l < "$shard_ref") trials over 3 cells, sharded vs in-process)"
+echo "record fingerprints byte-identical: shards={1,2,4} x threads={1,$threads}" \
+     "($(wc -l < "$shard_ref") cells, sharded vs in-process)"

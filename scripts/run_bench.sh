@@ -132,6 +132,48 @@ case "$MATRIX" in
     ;;
 esac
 
+# Hardware counters on one pinned hot-path cell (the headline static_clique
+# jump-engine cell), recorded as a {"record":"perf_counters",...} line:
+# raw counts plus derived IPC and cache-miss rate — the two metrics the
+# tiled/arena work optimizes for. Gracefully skipped when `perf` is absent
+# or the kernel forbids counters (containers, locked-down CI runners); the
+# snapshot is complete without it.
+if [[ "$MATRIX" != scale* && "$MATRIX" != shard ]]; then
+  perf_tmp=$(mktemp)
+  if perf stat -x, -e cycles,instructions,cache-references,cache-misses \
+       -o "$perf_tmp" -- "$cli" run --scenario static_clique --n 1024 \
+       --engine async_jump --trials 5 --seed 1 --json > /dev/null 2>/dev/null; then
+    python3 - "$perf_tmp" >> "$OUT" <<'EOF'
+import json
+import sys
+
+counts = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        parts = line.strip().split(",")
+        if len(parts) < 3:
+            continue
+        try:
+            value = float(parts[0])
+        except ValueError:
+            continue  # <not supported> / <not counted> / header text
+        counts[parts[2].split(":")[0].replace("-", "_")] = value
+record = {"record": "perf_counters",
+          "cell": "static_clique n=1024 async-jump push-pull trials=5 seed=1"}
+record.update({k: counts[k] for k in sorted(counts)})
+if counts.get("cycles"):
+    record["ipc"] = counts.get("instructions", 0.0) / counts["cycles"]
+if counts.get("cache_references"):
+    record["cache_miss_rate"] = counts.get("cache_misses", 0.0) / counts["cache_references"]
+print(json.dumps(record, separators=(",", ":")))
+EOF
+    echo "captured hardware counters for the pinned cell" >&2
+  else
+    echo "perf stat unavailable — skipping hardware counter capture" >&2
+  fi
+  rm -f "$perf_tmp"
+fi
+
 # google-benchmark microbenches, one JSON-lines record per benchmark. The
 # scale and shard matrices skip them: their cells are macro-scale by
 # construction and the smoke jobs should spend their minutes on the

@@ -1,0 +1,30 @@
+#include "repro/fingerprint.h"
+
+#include <ostream>
+
+#include "support/json.h"
+
+namespace rumor {
+
+std::string fingerprint_records(const std::vector<std::string>& record_lines) {
+  RecordHasher hasher;
+  for (const std::string& line : record_lines) hasher.add(line);
+  return hasher.finish();
+}
+
+void emit_fingerprint_json(std::ostream& os, const CellFingerprint& fp) {
+  JsonWriter json(os);
+  json.begin_object().field("record", "fingerprint").field("scenario", fp.scenario);
+  json.key("params").begin_object();
+  for (const auto& [name, value] : fp.params) json.field(name, value);
+  json.end_object();
+  json.field("engine", fp.engine)
+      .field("protocol", fp.protocol)
+      .field("trials", fp.trials)
+      .field("seed", fp.seed)
+      .field("sha256", fp.sha256)
+      .end_object();
+  os << '\n';
+}
+
+}  // namespace rumor

@@ -1,0 +1,91 @@
+#include "repro/record_diff.h"
+
+#include "support/jsonl.h"
+
+namespace rumor {
+
+namespace {
+
+// The record's own trial index when it carries one (trial records do); the
+// stream position otherwise.
+int trial_index(const std::string& line, std::size_t position) {
+  std::int64_t trial = -1;
+  if (jsonl_get_int(line, "trial", &trial)) return static_cast<int>(trial);
+  return static_cast<int>(position);
+}
+
+// Labels one established byte divergence by walking both records' fields in
+// order. Falls back to whole-line reporting when either side is not a flat
+// record (e.g. the recording was cut mid-line).
+RecordDivergence label_divergence(const std::string& recorded,
+                                  const std::string& replayed, std::size_t position) {
+  RecordDivergence d;
+  d.trial = trial_index(recorded, position);
+  std::vector<std::pair<std::string, std::string>> rec_items, rep_items;
+  if (!jsonl_object_items(recorded, &rec_items) ||
+      !jsonl_object_items(replayed, &rep_items)) {
+    d.field = "";
+    d.expected = recorded;
+    d.actual = replayed;
+    d.message = "trial " + std::to_string(d.trial) +
+                ": record diverged and is not a flat JSON record on both sides "
+                "(recorded line: " + recorded + ")";
+    return d;
+  }
+  const std::size_t common = std::min(rec_items.size(), rep_items.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (rec_items[i].first != rep_items[i].first) {
+      d.field = rec_items[i].first;
+      d.expected = rec_items[i].first;
+      d.actual = rep_items[i].first;
+      d.message = "trial " + std::to_string(d.trial) + ": record structure diverged — "
+                  "field #" + std::to_string(i) + " is '" + rec_items[i].first +
+                  "' in the recording but '" + rep_items[i].first + "' in the replay";
+      return d;
+    }
+    if (rec_items[i].second != rep_items[i].second) {
+      d.field = rec_items[i].first;
+      d.expected = rec_items[i].second;
+      d.actual = rep_items[i].second;
+      d.message = "trial " + std::to_string(d.trial) + ": field '" + d.field +
+                  "' diverged (recorded " + d.expected + ", replayed " + d.actual + ")";
+      return d;
+    }
+  }
+  // Same fields, same values, different bytes: whitespace/ordering damage.
+  d.field = "";
+  d.expected = recorded;
+  d.actual = replayed;
+  d.message = "trial " + std::to_string(d.trial) +
+              ": record bytes diverged outside any field value "
+              "(formatting or field-count damage)";
+  return d;
+}
+
+}  // namespace
+
+RecordDivergence diff_records(const std::vector<std::string>& recorded,
+                              const std::vector<std::string>& replayed) {
+  const std::size_t common = std::min(recorded.size(), replayed.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (recorded[i] != replayed[i]) return label_divergence(recorded[i], replayed[i], i);
+  }
+  if (recorded.size() != replayed.size()) {
+    RecordDivergence d;
+    const bool missing = replayed.size() < recorded.size();
+    const std::string& edge_line = missing ? recorded[common] : replayed[common];
+    d.trial = trial_index(edge_line, common);
+    d.field = "record_count";
+    d.expected = std::to_string(recorded.size());
+    d.actual = std::to_string(replayed.size());
+    d.message = "replay produced " + d.actual + " records where the recording has " +
+                d.expected + " (first " + (missing ? "missing" : "extra") +
+                " record: trial " + std::to_string(d.trial) + ")";
+    return d;
+  }
+  RecordDivergence d;
+  d.identical = true;
+  return d;
+}
+
+}  // namespace rumor

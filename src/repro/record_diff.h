@@ -1,0 +1,32 @@
+// Byte-level record differ for the replay harness.
+//
+// Replay's verdict must be more useful than "files differ": when a re-run
+// diverges from the recording, the differ names the first divergent trial,
+// the first field inside that record whose value changed, and both values —
+// the minimum a human needs to decide whether an engine regressed, a family's
+// RNG consumption order moved, or the recording itself is damaged. Equality
+// is byte equality of the record lines; the field walk only runs to label a
+// divergence that byte comparison already established.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rumor {
+
+struct RecordDivergence {
+  bool identical = false;
+  int trial = -1;         // global trial index of the first divergent record
+  std::string field;      // first differing field; "" when structural
+  std::string expected;   // recorded value (or whole line when structural)
+  std::string actual;     // replayed value
+  std::string message;    // one actionable sentence naming all of the above
+};
+
+// Compares replayed record lines against the recording, byte for byte, in
+// order. Count mismatches and per-line divergences both produce a named
+// RecordDivergence; identical streams return {identical = true}.
+RecordDivergence diff_records(const std::vector<std::string>& recorded,
+                              const std::vector<std::string>& replayed);
+
+}  // namespace rumor

@@ -172,6 +172,7 @@ void write_manifest(JsonWriter& json, const ExperimentResult& result,
   json.field("round_limit", opt.round_limit);
   json.field("track_bounds", opt.track_bounds);
   json.field("bound_c", opt.bound_c);
+  json.field("bound_continuation_cap", opt.bound_continuation_cap);
   json.field("transmission_failure_prob", opt.transmission_failure_prob);
   json.field("source", static_cast<std::int64_t>(opt.source));
   json.field("build", build_info);

@@ -6,10 +6,14 @@
 
 namespace rumor {
 
-Cli::Cli(int argc, char** argv) {
+Cli::Cli(int argc, char** argv, bool allow_positionals) {
   program_ = argc > 0 ? argv[0] : "";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 && allow_positionals) {
+      positionals_.push_back(arg);
+      continue;
+    }
     DG_REQUIRE(arg.rfind("--", 0) == 0, "options must start with --: " + arg);
     arg = arg.substr(2);
     auto eq = arg.find('=');

@@ -3,17 +3,24 @@
 // Options take the form --name=value or --name value. Unknown options raise a
 // precondition failure so typos surface immediately. Every accessor supplies a
 // default, keeping all binaries runnable with no arguments.
+//
+// Bare words are rejected by default; subcommands that take file operands
+// (`rumor_cli replay RECORDED.json`) opt in with allow_positionals, and the
+// collected words come back from positionals() in order. A bare word directly
+// after `--flag` still binds to the flag as its value — put positionals
+// first, as usage strings show.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace rumor {
 
 class Cli {
  public:
-  Cli(int argc, char** argv);
+  Cli(int argc, char** argv, bool allow_positionals = false);
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& fallback) const;
@@ -27,9 +34,14 @@ class Cli {
   // rumor_cli treating non-reserved options as scenario parameters).
   const std::map<std::string, std::string>& entries() const { return values_; }
 
+  // Bare-word operands in argv order; always empty unless constructed with
+  // allow_positionals.
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
  private:
   std::string program_;
   std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
 };
 
 }  // namespace rumor

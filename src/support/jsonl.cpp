@@ -97,4 +97,78 @@ bool jsonl_get_string(const std::string& line, const std::string& key, std::stri
   return true;
 }
 
+bool jsonl_get_uint(const std::string& line, const std::string& key, std::uint64_t* out) {
+  std::string raw;
+  if (!jsonl_get_raw(line, key, &raw)) return false;
+  if (raw.empty() || raw[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || errno == ERANGE) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool jsonl_get_object(const std::string& line, const std::string& key, std::string* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t begin = at + needle.size();
+  if (begin >= line.size() || line[begin] != '{') return false;
+  // Balanced-brace walk; strings toggle in/out (the no-escape contract of the
+  // header applies, so a '"' always toggles).
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = begin; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{') ++depth;
+    if (c == '}' && --depth == 0) {
+      *out = line.substr(begin, i - begin + 1);
+      return true;
+    }
+  }
+  return false;  // unterminated object: truncation evidence for the caller
+}
+
+bool jsonl_object_items(const std::string& object,
+                        std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  if (object.size() < 2 || object.front() != '{' || object.back() != '}') return false;
+  std::size_t i = 1;
+  const std::size_t last = object.size() - 1;
+  while (i < last) {
+    if (object[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (object[i] != '"') return false;
+    const std::size_t key_end = object.find('"', i + 1);
+    if (key_end == std::string::npos || key_end + 1 >= last || object[key_end + 1] != ':') {
+      return false;
+    }
+    const std::string key = object.substr(i + 1, key_end - i - 1);
+    std::size_t value_begin = key_end + 2;
+    std::size_t value_end = value_begin;
+    bool in_string = false;
+    while (value_end < last) {
+      const char c = object[value_end];
+      if (c == '"') in_string = !in_string;
+      if (!in_string && (c == ',' || c == '{' || c == '}')) break;
+      ++value_end;
+    }
+    if (value_end < last && (object[value_end] == '{' || object[value_end] == '}')) {
+      return false;  // nested value: not a flat object
+    }
+    std::string value = object.substr(value_begin, value_end - value_begin);
+    if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+      value = value.substr(1, value.size() - 2);
+    }
+    out->emplace_back(key, std::move(value));
+    i = value_end;
+  }
+  return true;
+}
+
 }  // namespace rumor

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rumor {
@@ -47,8 +48,22 @@ class LineReader {
 // and fills *out when `key` is present with a value of the right shape.
 bool jsonl_get_raw(const std::string& line, const std::string& key, std::string* out);
 bool jsonl_get_int(const std::string& line, const std::string& key, std::int64_t* out);
+bool jsonl_get_uint(const std::string& line, const std::string& key, std::uint64_t* out);
 bool jsonl_get_double(const std::string& line, const std::string& key, double* out);
 bool jsonl_get_bool(const std::string& line, const std::string& key, bool* out);
 bool jsonl_get_string(const std::string& line, const std::string& key, std::string* out);
+
+// Extracts the object value of `key` — braces balanced, string-aware — so the
+// reproducibility layer can pull "manifest":{...} (and its nested
+// "params":{...}) out of a summary record, then scan the extracted text with
+// the flat accessors above. *out includes the surrounding braces.
+bool jsonl_get_object(const std::string& line, const std::string& key, std::string* out);
+
+// The key/value pairs of one flat JSON object ("{...}"), in source order —
+// this is what preserves a recorded manifest's params in schema order.
+// Values keep their raw spelling except strings, which lose their quotes.
+// Returns false (leaving *out unspecified) on text that is not a flat object.
+bool jsonl_object_items(const std::string& object,
+                        std::vector<std::pair<std::string, std::string>>* out);
 
 }  // namespace rumor

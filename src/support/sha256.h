@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4) for the reproducibility harness's golden fingerprints.
+//
+// Self-contained, allocation-free, and endian-independent: the digest of a
+// byte stream is identical on every platform, stdlib, and build flag set,
+// which is exactly what lets tests/golden/fingerprints.json stand in for full
+// record dumps when CI compares legs. Streaming interface so million-node
+// record streams hash without buffering.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rumor {
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(const void* data, std::size_t len);
+  void update(const std::string& bytes) { update(bytes.data(), bytes.size()); }
+
+  // Finalizes and returns the 64-character lowercase hex digest. The hasher
+  // is left reset, ready for a fresh stream.
+  std::string hex_digest();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+// One-shot convenience: sha256_hex("abc") ==
+// "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad".
+std::string sha256_hex(const std::string& bytes);
+
+}  // namespace rumor

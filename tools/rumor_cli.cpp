@@ -1,10 +1,12 @@
 // rumor_cli — the production experiment driver over the scenario registry.
 //
 // Subcommands:
-//   list      catalog every registered scenario (--markdown for README tables)
-//   describe  full parameter schema of one scenario (--scenario NAME)
-//   run       multi-trial run of one scenario (--json / --csv / default table)
-//   sweep     grid runs: scenarios x engines x protocols x one swept parameter
+//   list        catalog every registered scenario (--markdown for README tables)
+//   describe    full parameter schema of one scenario (--scenario NAME)
+//   run         multi-trial run of one scenario (--json / --csv / default table)
+//   sweep       grid runs: scenarios x engines x protocols x one swept parameter
+//   replay      re-run a recorded sweep from its manifests and byte-diff it
+//   fingerprint SHA-256 per grid cell over the canonical record stream
 //
 // Scenario parameters are passed as plain options (--n 512 --rho 0.25 ...);
 // anything not a reserved driver option is validated against the scenario's
@@ -18,9 +20,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -29,6 +33,9 @@
 #include <vector>
 
 #include "core/trial_pool.h"
+#include "repro/fingerprint.h"
+#include "repro/manifest.h"
+#include "repro/replay.h"
 #include "scenarios/experiment.h"
 #include "support/cli.h"
 #include "support/json.h"
@@ -52,7 +59,7 @@ const std::set<std::string>& reserved_options() {
       "trials",   "seed",      "threads",     "bounds",      "failure",  "clock-rate",
       "time-limit", "round-limit", "source",  "sweep",       "json",     "csv",
       "markdown", "help",      "progress",    "scale",       "chunk",    "shards",
-      "trial-offset", "bound-cap",
+      "trial-offset", "bound-cap", "strict-build",
   };
   return names;
 }
@@ -282,44 +289,62 @@ int cmd_run(const Cli& cli, const std::string& self) {
   return 0;
 }
 
-int cmd_sweep(const Cli& cli, const std::string& self) {
-  std::vector<std::string> scenarios = split_list(cli.get("scenarios", cli.get("scenario", "")));
-  if (scenarios.empty()) {
-    std::cerr << "sweep needs --scenarios a,b,... (or --scenario NAME)\n";
-    return 2;
+// The scenario x engine x protocol x swept-parameter grid shared by `sweep`
+// and `fingerprint`: parsed from the plural options (singular forms honoured
+// as one-element grids) and validated up front — a typo in a late cell must
+// reject the grid in milliseconds, not abort it mid-run after hours.
+struct SweepGrid {
+  std::vector<std::string> scenarios;
+  std::vector<std::string> engines;
+  std::vector<std::string> protocols;
+  std::string sweep_name;                   // "" when no parameter is swept
+  std::vector<std::string> sweep_values;    // {""} when no parameter is swept
+};
+
+std::optional<SweepGrid> parse_grid(const Cli& cli, const char* subcommand) {
+  SweepGrid grid;
+  grid.scenarios = split_list(cli.get("scenarios", cli.get("scenario", "")));
+  if (grid.scenarios.empty()) {
+    std::cerr << subcommand << " needs --scenarios a,b,... (or --scenario NAME)\n";
+    return std::nullopt;
   }
-  // Singular forms are honoured as one-element grids.
-  const std::vector<std::string> engines =
-      split_list(cli.get("engines", cli.get("engine", "async_jump")));
-  const std::vector<std::string> protocols =
-      split_list(cli.get("protocols", cli.get("protocol", "push_pull")));
+  grid.engines = split_list(cli.get("engines", cli.get("engine", "async_jump")));
+  grid.protocols = split_list(cli.get("protocols", cli.get("protocol", "push_pull")));
 
   // One optional swept scenario parameter: --sweep name=v1,v2,...
-  std::string sweep_name;
-  std::vector<std::string> sweep_values = {""};
+  grid.sweep_values = {""};
   if (cli.has("sweep")) {
     const std::string sweep = cli.get("sweep", "");
     const auto eq = sweep.find('=');
     if (eq == std::string::npos || split_list(sweep.substr(eq + 1)).empty()) {
       std::cerr << "--sweep expects name=v1,v2,... got '" << sweep << "'\n";
-      return 2;
+      return std::nullopt;
     }
-    sweep_name = sweep.substr(0, eq);
-    sweep_values = split_list(sweep.substr(eq + 1));
+    grid.sweep_name = sweep.substr(0, eq);
+    grid.sweep_values = split_list(sweep.substr(eq + 1));
   }
 
-  // Validate the whole grid up front: a typo in a late cell must reject the
-  // sweep in milliseconds, not abort it mid-grid after hours of runs.
-  for (const std::string& scenario : scenarios) {
+  for (const std::string& scenario : grid.scenarios) {
     const ScenarioSpec& spec = require_scenario(scenario);
-    for (const std::string& value : sweep_values) {
+    for (const std::string& value : grid.sweep_values) {
       std::map<std::string, std::string> overrides = scenario_overrides(cli);
-      if (!sweep_name.empty()) overrides[sweep_name] = value;
+      if (!grid.sweep_name.empty()) overrides[grid.sweep_name] = value;
       ScenarioParams::resolve(spec, overrides);
     }
   }
-  for (const std::string& engine : engines) parse_engine(engine);
-  for (const std::string& protocol : protocols) parse_protocol(protocol);
+  for (const std::string& engine : grid.engines) parse_engine(engine);
+  for (const std::string& protocol : grid.protocols) parse_protocol(protocol);
+  return grid;
+}
+
+int cmd_sweep(const Cli& cli, const std::string& self) {
+  const std::optional<SweepGrid> parsed = parse_grid(cli, "sweep");
+  if (!parsed) return 2;
+  const std::vector<std::string>& scenarios = parsed->scenarios;
+  const std::vector<std::string>& engines = parsed->engines;
+  const std::vector<std::string>& protocols = parsed->protocols;
+  const std::string& sweep_name = parsed->sweep_name;
+  const std::vector<std::string>& sweep_values = parsed->sweep_values;
 
   const bool json = cli.get_bool("json", false);
   const bool csv = cli.get_bool("csv", false);
@@ -371,6 +396,124 @@ int cmd_sweep(const Cli& cli, const std::string& self) {
   return 0;
 }
 
+// Re-run a recorded sweep from its manifests and prove the re-run
+// byte-identical (src/repro/replay.h). Exit 0 only when every cell's trial
+// records match the recording byte for byte; any mismatch exits 1 with a
+// divergence message naming the trial and field. --threads/--shards probe the
+// determinism contract by replaying under a different execution topology —
+// the bytes must not care.
+int cmd_replay(const Cli& cli, const std::string& self) {
+  if (cli.positionals().size() != 1) {
+    std::cerr << "usage: rumor_cli replay RECORDED.json [--threads T] [--shards N] "
+                 "[--strict-build]\n(record one with `rumor_cli run/sweep --json`)\n";
+    return 2;
+  }
+  const std::string& path = cli.positionals().front();
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "replay: cannot open '" << path << "'\n";
+    return 2;
+  }
+  const std::vector<RecordedCell> recording = load_recording(in);
+
+  ReplayOptions options;
+  options.worker_binary = self;
+  options.threads_override = static_cast<int>(cli.get_int("threads", 0));
+  options.shards_override = static_cast<int>(cli.get_int("shards", 0));
+  options.strict_build = cli.get_bool("strict-build", false);
+  options.build_info = RUMOR_BUILD_INFO;
+
+  const ReplayReport report = replay_recording(recording, options, std::cout);
+  if (report.ok) {
+    std::cout << "replay OK: " << report.cells.size() << " cells, " << report.trials
+              << " trials byte-identical to '" << path << "'\n";
+    return 0;
+  }
+  for (const CellReplayResult& cell : report.cells) {
+    if (cell.ok()) continue;
+    std::cerr << "replay DIVERGED [" << cell.label << "]: "
+              << (cell.divergence.identical
+                      ? "manifest field '" + cell.manifest_field + "' is not a fixed point"
+                      : cell.divergence.message)
+              << "\n";
+  }
+  return 1;
+}
+
+// One {"record":"fingerprint",...} line per grid cell: a SHA-256 over the
+// canonical trial-record stream (src/repro/fingerprint.h), keyed by the
+// work-identifying manifest fields only — never the execution topology — so
+// fingerprint tables from different thread/shard counts, stdlibs, or
+// machines diff directly. With a recorded file as operand the fingerprints
+// are computed from the recorded bytes instead of a re-run.
+int cmd_fingerprint(const Cli& cli, const std::string& self) {
+  if (!cli.positionals().empty()) {
+    for (const std::string& path : cli.positionals()) {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "fingerprint: cannot open '" << path << "'\n";
+        return 2;
+      }
+      for (const RecordedCell& cell : load_recording(in)) {
+        CellFingerprint fp;
+        fp.scenario = cell.manifest.scenario;
+        fp.params = cell.manifest.params;
+        fp.engine = cell.manifest.engine;
+        fp.protocol = cell.manifest.protocol;
+        fp.trials = cell.manifest.trials;
+        fp.seed = cell.manifest.seed;
+        fp.sha256 = fingerprint_records(cell.trial_lines);
+        emit_fingerprint_json(std::cout, fp);
+      }
+    }
+    return 0;
+  }
+
+  const std::optional<SweepGrid> grid = parse_grid(cli, "fingerprint");
+  if (!grid) return 2;
+  for (const std::string& scenario : grid->scenarios) {
+    for (const std::string& value : grid->sweep_values) {
+      for (const std::string& engine : grid->engines) {
+        for (const std::string& protocol : grid->protocols) {
+          ExperimentConfig config;
+          config.scenario = scenario;
+          config.param_overrides = scenario_overrides(cli);
+          if (!grid->sweep_name.empty()) config.param_overrides[grid->sweep_name] = value;
+          config.runner = runner_options(cli);
+          config.worker_binary = self;
+          config.runner.engine = parse_engine(engine);
+          config.runner.protocol = parse_protocol(protocol);
+          config.runner.progress = make_progress(cli, scenario + " fingerprint");
+
+          // Records hash as they stream — nothing is buffered, so the
+          // fingerprint of a million-node cell costs O(1) memory.
+          RecordHasher hasher;
+          const TrialSink sink = [&hasher](const ExperimentResult& r, int trial,
+                                           const SpreadResult& t) {
+            std::ostringstream record;
+            emit_trial_json(record, r, trial, t);
+            std::string line = record.str();
+            line.pop_back();  // the hasher supplies the newline
+            hasher.add(line);
+          };
+          const ExperimentResult result = run_experiment(config, sink);
+
+          CellFingerprint fp;
+          fp.scenario = scenario;
+          fp.params = result.params;
+          fp.engine = to_string(result.runner.engine);
+          fp.protocol = to_string(result.runner.protocol);
+          fp.trials = result.runner.trials;
+          fp.seed = result.runner.seed;
+          fp.sha256 = hasher.finish();
+          emit_fingerprint_json(std::cout, fp);
+        }
+      }
+    }
+  }
+  return 0;
+}
+
 int usage(std::ostream& os, int code) {
   os << "usage: rumor_cli <subcommand> [options]\n\n"
         "subcommands:\n"
@@ -384,6 +527,16 @@ int usage(std::ostream& os, int code) {
         "            [--json | --csv] [--progress] [--scale] [--chunk C]\n"
         "  sweep     grid of runs: --scenarios a,b --engines e1,e2\n"
         "            --protocols p1,p2 --sweep param=v1,v2 + run options\n"
+        "\n"
+        "reproducibility harness (docs/ARCHITECTURE.md):\n"
+        "  replay RECORDED.json   re-run a recorded sweep from its manifests and\n"
+        "            byte-diff the records; non-zero exit with a divergence\n"
+        "            naming the trial/field on any mismatch. [--threads T]\n"
+        "            [--shards N] replay under a different topology (records\n"
+        "            must not care); [--strict-build] fail on build-id drift\n"
+        "  fingerprint            SHA-256 per cell over the canonical record\n"
+        "            stream; grid options as sweep, or RECORDED.json operands\n"
+        "            to fingerprint recordings without re-running them\n"
         "\n"
         "scale-tier options (run and sweep):\n"
         "  --scale     large-n preset: threads = hardware concurrency, trials 8\n"
@@ -403,12 +556,17 @@ int dispatch(int argc, char** argv) {
   const std::string subcommand = argv[1];
   if (subcommand == "help" || subcommand == "--help") return usage(std::cout, 0);
 
-  // Parse everything after the subcommand as options.
-  const Cli cli(argc - 1, argv + 1);
+  // Parse everything after the subcommand as options. The reproducibility
+  // subcommands take recorded files as bare-word operands; everything else
+  // keeps the strict options-only grammar.
+  const bool takes_operands = subcommand == "replay" || subcommand == "fingerprint";
+  const Cli cli(argc - 1, argv + 1, takes_operands);
   if (subcommand == "list") return cmd_list(cli);
   if (subcommand == "describe") return cmd_describe(cli);
   if (subcommand == "run") return cmd_run(cli, self_binary_path(argv[0]));
   if (subcommand == "sweep") return cmd_sweep(cli, self_binary_path(argv[0]));
+  if (subcommand == "replay") return cmd_replay(cli, self_binary_path(argv[0]));
+  if (subcommand == "fingerprint") return cmd_fingerprint(cli, self_binary_path(argv[0]));
   // Hidden: one shard of a sharded run (spawned by the coordinator, not
   // listed in usage).
   if (subcommand == "worker") return cmd_worker(cli);
