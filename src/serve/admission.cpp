@@ -1,0 +1,59 @@
+#include "serve/admission.h"
+
+#include <utility>
+
+#include "support/contracts.h"
+
+namespace rumor {
+
+AdmissionGate::AdmissionGate(int max_active, int max_waiting)
+    : max_active_(max_active), max_waiting_(max_waiting) {
+  DG_REQUIRE(max_active >= 1, "admission gate needs at least one active slot");
+  DG_REQUIRE(max_waiting >= 0, "admission gate waiting room cannot be negative");
+}
+
+AdmissionGate::Ticket::Ticket(Ticket&& other) noexcept
+    : gate_(std::exchange(other.gate_, nullptr)) {}
+
+AdmissionGate::Ticket& AdmissionGate::Ticket::operator=(Ticket&& other) noexcept {
+  if (this != &other) {
+    if (gate_ != nullptr) gate_->release();
+    gate_ = std::exchange(other.gate_, nullptr);
+  }
+  return *this;
+}
+
+AdmissionGate::Ticket::~Ticket() {
+  if (gate_ != nullptr) gate_->release();
+}
+
+std::optional<AdmissionGate::Ticket> AdmissionGate::admit() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (active_ >= max_active_) {
+    if (waiting_ >= max_waiting_) {
+      ++rejected_;
+      return std::nullopt;
+    }
+    ++waiting_;
+    slot_freed_.wait(lock, [this] { return active_ < max_active_; });
+    --waiting_;
+  }
+  ++active_;
+  ++admitted_;
+  return Ticket(this);
+}
+
+void AdmissionGate::release() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --active_;
+  }
+  slot_freed_.notify_one();
+}
+
+AdmissionGate::Stats AdmissionGate::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {active_, waiting_, admitted_, rejected_};
+}
+
+}  // namespace rumor

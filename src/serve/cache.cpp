@@ -1,0 +1,116 @@
+#include "serve/cache.h"
+
+#include <utility>
+
+#include "support/json.h"
+#include "support/sha256.h"
+
+namespace rumor {
+
+std::string cache_key(const ReproManifest& m) {
+  // One "name=value\n" line per participating field, in a fixed order, so the
+  // serialization is injective (names disambiguate, '\n' terminates values
+  // that themselves never contain newlines). Doubles are spelled by
+  // json_number — the round-trip form manifest_divergence itself compares —
+  // and the backend is normalized the way backend_name() reports it, so the
+  // pre-PR-6 empty spelling keys identically to its explicit form.
+  Sha256 hasher;
+  const auto field = [&hasher](const std::string& name, const std::string& value) {
+    hasher.update(name);
+    hasher.update("=", 1);
+    hasher.update(value);
+    hasher.update("\n", 1);
+  };
+  field("scenario", m.scenario);
+  for (const auto& [name, value] : m.params) field("param:" + name, value);
+  field("engine", m.engine);
+  field("protocol", m.protocol);
+  field("trials", std::to_string(m.trials));
+  field("seed", std::to_string(m.seed));
+  field("clock_rate", json_number(m.clock_rate));
+  field("time_limit", json_number(m.time_limit));
+  field("round_limit", std::to_string(m.round_limit));
+  field("track_bounds", m.track_bounds ? "true" : "false");
+  field("bound_c", json_number(m.bound_c));
+  field("bound_continuation_cap", std::to_string(m.bound_continuation_cap));
+  field("transmission_failure_prob", json_number(m.transmission_failure_prob));
+  field("source", std::to_string(m.source));
+  field("threads", std::to_string(m.threads));
+  field("chunk_trials", std::to_string(m.chunk_trials));
+  field("backend", m.backend.empty() ? (m.shards >= 2 ? "sharded" : "in-process")
+                                     : m.backend);
+  field("shards", std::to_string(m.shards));
+  // Deliberately absent: m.build and m.worker_cmd — the provenance fields
+  // manifest_divergence excludes.
+  return hasher.hex_digest();
+}
+
+std::size_t CachedCell::payload_bytes() const {
+  std::size_t total = summary_line.size() + fingerprint.size();
+  for (const std::string& line : trial_lines) total += line.size();
+  return total;
+}
+
+ResultCache::ResultCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+std::shared_ptr<const CachedCell> ResultCache::find(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+  return it->second.cell;
+}
+
+std::shared_ptr<const CachedCell> ResultCache::insert(const std::string& key,
+                                                      CachedCell cell) {
+  auto shared = std::make_shared<const CachedCell>(std::move(cell));
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    bytes_ -= it->second.cell->payload_bytes();
+    bytes_ += shared->payload_bytes();
+    it->second.cell = shared;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+  } else {
+    lru_.push_front(key);
+    bytes_ += shared->payload_bytes();
+    entries_.emplace(key, Entry{shared, lru_.begin()});
+    ++stats_.insertions;
+  }
+  evict_to_budget_locked();
+  return shared;
+}
+
+void ResultCache::evict_to_budget_locked() {
+  // Never evict the entry just touched (front): an oversized cell is kept
+  // alone rather than thrashing on its own insertion.
+  while (bytes_ > max_bytes_ && lru_.size() > 1) {
+    const std::string& victim = lru_.back();
+    const auto it = entries_.find(victim);
+    bytes_ -= it->second.cell->payload_bytes();
+    entries_.erase(it);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+}  // namespace rumor

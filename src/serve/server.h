@@ -1,0 +1,103 @@
+// The rumor_serve daemon core: a persistent simulation service answering
+// JSON-lines requests over a unix-domain socket, backed by the manifest-keyed
+// result cache.
+//
+// One thread accepts connections (woken for shutdown through a self-pipe);
+// each connection gets a reader thread that frames request lines with
+// support/jsonl.h's LineReader and answers through support/socket.h's
+// write_all. Request handling itself is transport-free: handle_request_line
+// takes the raw line and a LineSink, which is how tests/test_serve.cpp drives
+// the full parse -> resolve -> admit -> run -> cache -> respond path without
+// opening a socket.
+//
+// Response contract (docs/SERVICE.md is the reference): every grid cell is
+// answered with a {"record":"serve_cell"} header naming the cache verdict and
+// cell fingerprint, followed by the cell's trial records and summary line —
+// byte-for-byte the lines `rumor_cli run --json` would emit, served verbatim
+// from the cache on a hit (so hit and miss responses for one manifest are
+// byte-identical, and a response body is a recording `rumor_cli replay` can
+// verify). Requests end with {"record":"serve_done"}; invalid ones with
+// {"record":"serve_error"}; a request that would exceed the admission policy
+// gets a loud {"record":"serve_reject"} instead of unbounded queueing.
+//
+// A client that disconnects mid-job is load, not a crash: the in-flight cell
+// completes and is cached for the next asker, the rest of its request is
+// skipped, and the connection is reaped at shutdown.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/admission.h"
+#include "serve/cache.h"
+#include "serve/protocol.h"
+#include "support/socket.h"
+
+namespace rumor {
+
+class ServeServer {
+ public:
+  struct Options {
+    ServeLimits limits;          // per-request resolution policy
+    int max_active_jobs = 1;     // simulating requests running at once
+    int max_waiting_jobs = 4;    // simulating requests parked for a slot
+    std::size_t cache_bytes = std::size_t{64} << 20;  // result-cache budget
+    std::string build_info;      // spelled into served summary manifests
+  };
+
+  explicit ServeServer(const Options& options);
+  ~ServeServer();
+
+  // Receives one response line (no trailing newline); returns false when the
+  // client is gone, which stops the response mid-stream.
+  using LineSink = std::function<bool(const std::string& line)>;
+
+  enum class RequestOutcome {
+    served,       // response (or error/reject record) fully delivered
+    client_lost,  // sink reported a dead client part-way through
+    shutdown,     // the request was a shutdown verb; stop serving
+  };
+
+  // Handles one request line end to end, writing every response record to
+  // `sink`. Never throws on bad requests — they become serve_error records.
+  RequestOutcome handle_request_line(const std::string& line, const LineSink& sink);
+
+  // Binds `socket_path` and serves until request_stop() (or a shutdown verb).
+  // Lifecycle messages go to `log`. Returns 0 on a clean shutdown with every
+  // connection thread joined.
+  int serve(const std::string& socket_path, std::ostream& log);
+
+  // Stops serve(): async-signal-safe (atomic store + self-pipe write), so the
+  // daemon's SIGINT/SIGTERM handlers call it directly.
+  void request_stop();
+
+  CacheStats cache_stats() const { return cache_.stats(); }
+  AdmissionGate::Stats admission_stats() const { return gate_.stats(); }
+
+ private:
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+  };
+
+  std::shared_ptr<const CachedCell> run_and_cache(const ResolvedCell& cell);
+  void serve_connection(Socket& socket);
+  std::string stats_record(const std::string& id) const;
+
+  const Options options_;
+  ResultCache cache_;
+  AdmissionGate gate_;
+  std::atomic<bool> stopping_{false};
+  int stop_pipe_[2] = {-1, -1};  // [0] read end watched by accept_next
+  std::mutex conns_mutex_;
+  std::list<Connection> conns_;  // stable addresses for the reader threads
+};
+
+}  // namespace rumor

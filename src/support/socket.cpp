@@ -1,0 +1,142 @@
+#include "support/socket.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace rumor {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("unix socket path '" + path + "' must be 1.." +
+                             std::to_string(sizeof(addr.sun_path) - 1) + " bytes");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Socket::~Socket() { close(); }
+
+bool Socket::write_all(const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t got =
+        send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+UnixListener::UnixListener(const std::string& path) : path_(path) {
+  const sockaddr_un addr = unix_address(path);
+  fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  // A stale socket file from a daemon that died unclean must not block the
+  // restart; a live daemon still fails the bind with EADDRINUSE only when the
+  // file reappears between unlink and bind, which is the rare race we accept.
+  unlink(path.c_str());
+  if (bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("bind '" + path + "'");
+  }
+  if (listen(fd_, SOMAXCONN) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    unlink(path.c_str());
+    fd_ = -1;
+    errno = saved;
+    throw_errno("listen '" + path + "'");
+  }
+}
+
+UnixListener::~UnixListener() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!path_.empty()) unlink(path_.c_str());
+}
+
+Socket UnixListener::accept_next(int wake_fd) {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {fd_, POLLIN, 0};
+    nfds_t count = 1;
+    if (wake_fd >= 0) {
+      fds[1] = {wake_fd, POLLIN, 0};
+      count = 2;
+    }
+    const int ready = poll(fds, count, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (count == 2 && (fds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      return Socket();  // woken for shutdown, not a connection
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      throw_errno("accept");
+    }
+    return Socket(client);
+  }
+}
+
+Socket connect_unix(const std::string& path) {
+  const sockaddr_un addr = unix_address(path);
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect '" + path + "'");
+  }
+  return Socket(fd);
+}
+
+}  // namespace rumor
