@@ -1,0 +1,163 @@
+// Hardware-tier kernel microbenchmarks (google-benchmark).
+//
+// One simd/ref pair per kernel of support/simd.h, over the working-set sizes
+// the engines actually hit: lane_sum at BlockRates' block and superblock
+// widths, fill_winv and crossing_rate at realistic degrees, and the bulk
+// -log(U) transform at ExponentialBlock's batch width. The two legs compute
+// bit-identical results by construction (tests/test_simd.cpp proves it); what
+// this file measures is the throughput gap between them, so the recorded
+// microbench history (scripts/run_bench.sh, scripts/bench_trend.py) tracks
+// whether the vector legs keep paying for themselves on the machine at hand.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.h"
+#include "support/simd.h"
+
+namespace rumor {
+namespace {
+
+// Uniform-positive doubles, deterministic across runs (fixed seed) so the
+// two legs of every pair chew identical bytes.
+std::vector<double> make_uniforms(std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(len);
+  for (double& v : x) v = rng.uniform_positive();
+  return x;
+}
+
+void BM_SimdKernelLaneSum(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> x = make_uniforms(len, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::lane_sum(x.data(), len));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_SimdKernelLaneSum)->Arg(64)->Arg(4096)->Arg(1 << 16);
+
+void BM_SimdKernelLaneSumRef(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> x = make_uniforms(len, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::ref::lane_sum(x.data(), len));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_SimdKernelLaneSumRef)->Arg(64)->Arg(4096)->Arg(1 << 16);
+
+// CSR offsets for n nodes with pseudo-random degrees in [0, 16); ~6% isolated
+// nodes exercise the masked-division lane.
+std::vector<std::int64_t> make_offsets(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> offsets(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    offsets[i + 1] = offsets[i] + static_cast<std::int64_t>(rng.next() % 16);
+  }
+  return offsets;
+}
+
+void BM_SimdKernelFillWinv(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::int64_t> offsets = make_offsets(n, 2);
+  std::vector<double> winv(n);
+  for (auto _ : state) {
+    simd::fill_winv(offsets.data(), 0, n, 1.0, winv.data());
+    benchmark::DoNotOptimize(winv.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimdKernelFillWinv)->Arg(4096)->Arg(1 << 16);
+
+void BM_SimdKernelFillWinvRef(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::int64_t> offsets = make_offsets(n, 2);
+  std::vector<double> winv(n);
+  for (auto _ : state) {
+    simd::ref::fill_winv(offsets.data(), 0, n, 1.0, winv.data());
+    benchmark::DoNotOptimize(winv.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimdKernelFillWinvRef)->Arg(4096)->Arg(1 << 16);
+
+// One node's adjacency over an n-node universe with roughly half the
+// universe informed — the mid-trial regime where r(v) gathers are hottest.
+struct CrossingFixture {
+  std::vector<std::int32_t> adj;
+  std::vector<std::uint64_t> informed;
+  std::vector<double> winv;
+
+  CrossingFixture(std::size_t deg, std::size_t n) {
+    Rng rng(3);
+    adj.resize(deg);
+    for (auto& w : adj) w = static_cast<std::int32_t>(rng.next() % n);
+    informed.resize((n + 63) / 64);
+    for (auto& word : informed) word = rng.next();
+    winv.resize(n);
+    for (auto& v : winv) v = rng.uniform_positive();
+  }
+};
+
+void BM_SimdKernelCrossingRate(benchmark::State& state) {
+  const auto deg = static_cast<std::size_t>(state.range(0));
+  const CrossingFixture fx(deg, 1 << 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::crossing_rate(fx.adj.data(), deg, fx.informed.data(),
+                                                 fx.winv.data(), 1.0, 0.25));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(deg));
+}
+BENCHMARK(BM_SimdKernelCrossingRate)->Arg(8)->Arg(64)->Arg(4096);
+
+void BM_SimdKernelCrossingRateRef(benchmark::State& state) {
+  const auto deg = static_cast<std::size_t>(state.range(0));
+  const CrossingFixture fx(deg, 1 << 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::ref::crossing_rate(fx.adj.data(), deg, fx.informed.data(),
+                                                      fx.winv.data(), 1.0, 0.25));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(deg));
+}
+BENCHMARK(BM_SimdKernelCrossingRateRef)->Arg(8)->Arg(64)->Arg(4096);
+
+void BM_SimdKernelNegLog(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> src = make_uniforms(len, 4);
+  std::vector<double> buf(len);
+  for (auto _ : state) {
+    buf = src;  // the transform is in place; re-seed each iteration
+    simd::negative_log_transform(buf.data(), len);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_SimdKernelNegLog)->Arg(256)->Arg(4096);
+
+void BM_SimdKernelNegLogRef(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> src = make_uniforms(len, 4);
+  std::vector<double> buf(len);
+  for (auto _ : state) {
+    buf = src;
+    simd::ref::negative_log_transform(buf.data(), len);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_SimdKernelNegLogRef)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace rumor
+
+BENCHMARK_MAIN();

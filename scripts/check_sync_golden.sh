@@ -14,7 +14,10 @@
 # files from ever drifting apart. Provenance: captured by the pre-refactor
 # build at 86822bb, with the edge_markovian records re-captured once in PR 5
 # when that family adopted the portable tiled sequence contract
-# (docs/ARCHITECTURE.md); every other scenario's records are original.
+# (docs/ARCHITECTURE.md), and the full file re-captured once in the
+# hardware-tier PR when mobile_geometric adopted the same tiled counter-based
+# scheme for agent movement (only its rows changed; every other scenario's
+# trial records were verified byte-identical across the re-capture).
 #
 # Usage: scripts/check_sync_golden.sh path/to/rumor_cli
 set -euo pipefail

@@ -7,8 +7,13 @@
 #     manifest (build id included) and wall-clock elapsed_seconds;
 #   * "scenario_matrix"    — bench_scenario_matrix --json: registry-wide
 #     jump-engine throughput, one row per catalog scenario;
-#   * "microbench"         — bench_engine_throughput (google-benchmark)
-#     converted to one record per benchmark, when the binary exists.
+#   * "hw_info"            — `rumor_cli hwinfo`: the compiled SIMD tier and
+#     lane width plus the host's hardware thread count, so every snapshot
+#     names the machine class that produced it (a flat thread curve on a
+#     1-vCPU container reads as exactly that, not as a scaling bug);
+#   * "microbench"         — bench_engine_throughput and bench_simd_kernels
+#     (google-benchmark) converted to one record per benchmark, when the
+#     binaries exist.
 #
 # Usage: scripts/run_bench.sh [OUTPUT.json]     (default BENCH_3.json)
 #   BUILD_DIR=build-release scripts/run_bench.sh    # alternate build tree
@@ -41,11 +46,16 @@ fi
 # microbenches entirely).
 if [[ "$MATRIX" != scale* && "$MATRIX" != shard ]] &&
    cmake --build "$BUILD_DIR" --target help 2>/dev/null | grep -q bench_engine_throughput; then
-  cmake --build "$BUILD_DIR" --target bench_engine_throughput -j"$(nproc)"
+  cmake --build "$BUILD_DIR" --target bench_engine_throughput bench_simd_kernels -j"$(nproc)"
 fi
 
 cli="$BUILD_DIR/tools/rumor_cli"
 : > "$OUT"
+
+# Lead every snapshot with the hw_info record (SIMD tier, lane width, thread
+# budget) so the summary/perf_counters lines below it can be interpreted
+# against the machine class — the companion of the perf_counters record.
+"$cli" hwinfo >> "$OUT"
 
 case "$MATRIX" in
   full)
@@ -75,6 +85,14 @@ case "$MATRIX" in
       --trials 30 --seed 1 --threads 1 --json >> "$OUT"
     "$cli" sweep --scenarios static_clique --engines async_jump,async_tick \
       --sweep n=2048 --trials 15 --seed 1 --threads 1 --json >> "$OUT"
+    # The hardware-tier acceptance cell: the edge-Markovian n=10^6 hot path
+    # at one thread — the single cell the SIMD kernels, bulk RNG tier, and
+    # the serial-straggler work (tiled evolution boundary sweep, streaming
+    # CSR fill) are gated on. Minutes-scale on purpose: wall clock at this
+    # size is dominated by the kernels, not driver noise.
+    "$cli" sweep --scenarios edge_markovian --engines async_jump \
+      --sweep n=1000000 --p 1.6e-06 --q 0.2 \
+      --trials 3 --seed 11 --threads 1 --json >> "$OUT"
     ;;
   scale)
     # Scale-tier CI smoke (the scale-smoke job): one 10^5-node static family
@@ -178,13 +196,23 @@ fi
 # scale and shard matrices skip them: their cells are macro-scale by
 # construction and the smoke jobs should spend their minutes on the
 # 10^5-node sweeps.
-if [[ "$MATRIX" != scale* && "$MATRIX" != shard ]] && [ -x "$BUILD_DIR/bench/bench_engine_throughput" ]; then
+if [[ "$MATRIX" != scale* && "$MATRIX" != shard ]]; then
   tmp=$(mktemp)
   trap 'rm -f "$tmp"' EXIT
-  "$BUILD_DIR/bench/bench_engine_throughput" \
-    --benchmark_filter='JumpEngine|TickEngine|SyncEngine|BlockRates|Fenwick|Topology|EdgeMarkovianStep' \
-    --benchmark_format=json > "$tmp" 2>/dev/null
-  python3 - "$tmp" >> "$OUT" <<'EOF'
+  for bench in bench_engine_throughput bench_simd_kernels; do
+    [ -x "$BUILD_DIR/bench/$bench" ] || continue
+    case "$bench" in
+      bench_engine_throughput)
+        filter='JumpEngine|TickEngine|SyncEngine|BlockRates|Fenwick|Topology|EdgeMarkovianStep' ;;
+      # Every hardware-tier kernel, simd and ref legs both, so the trend
+      # table tracks the speedup pair per cell (scripts/bench_trend.py).
+      bench_simd_kernels)
+        filter='SimdKernel' ;;
+    esac
+    "$BUILD_DIR/bench/$bench" \
+      --benchmark_filter="$filter" \
+      --benchmark_format=json > "$tmp" 2>/dev/null
+    python3 - "$tmp" >> "$OUT" <<'EOF'
 import json
 import sys
 
@@ -198,6 +226,7 @@ for b in data.get("benchmarks", []):
         "items_per_second": b.get("items_per_second"),
     }, separators=(",", ":")))
 EOF
+  done
 fi
 
 echo "wrote $OUT ($(grep -c '"record":"summary"' "$OUT") summary records," \

@@ -12,11 +12,15 @@
 //
 // The delta path is bit-identical to a full rebuild by construction:
 //
+//  * every r(v) the model ever writes — full gather, sparse rebuild, delta
+//    refresh — comes from the ONE per-node kernel simd::crossing_rate
+//    (support/simd.h), which lane-blocks over the node's full adjacency list
+//    with informed-mask weights, so there is exactly one summation order to
+//    agree on;
 //  * a changed edge only affects winv of its two endpoints (β/deg is a pure
 //    function of the new degree) and r(v) of the endpoints and their
-//    current neighbours, so recomputing exactly that set from scratch — with
-//    the same per-node summation order as the rebuild's gather loop (the
-//    shared crossing_rate helper below) — reproduces the rebuild's values;
+//    current neighbours, so recomputing exactly that set through the kernel
+//    reproduces the rebuild's values;
 //  * every entry drifted by the incremental add()/clear() updates since the
 //    last change-point is tracked in a dirty list and recomputed too, which
 //    restores the "assign()-exact" state a full rebuild would establish;
@@ -29,6 +33,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -40,26 +45,21 @@
 #include "support/arena.h"
 #include "support/bitset.h"
 #include "support/contracts.h"
+#include "support/simd.h"
 
 namespace rumor {
 
 // r(v) for an uninformed node v: the race of independent exponentials over
-// its crossing edges, summed in ascending-neighbour (CSR) order. Shared by
-// the rebuild gather loop and the delta path so both accumulate in the same
-// floating-point order — the cornerstone of their bit-identity. (The rebuild
-// scatter walk accumulates per-target in ascending informed-source order,
-// which visits each target's crossing edges in the same ascending order, so
-// all three agree bitwise.)
+// its crossing edges. A thin adapter over the hardware tier's per-node
+// kernel; every call site — rebuild gather, sparse rebuild, delta refresh —
+// goes through here, which is the cornerstone of their bit-identity.
 inline double crossing_rate(const CsrView& csr, const Bitset& informed,
                             std::span<const double> winv, bool do_push, double pull_scale,
                             NodeId v) {
-  const double pull_w = pull_scale * winv[static_cast<std::size_t>(v)];
-  double r = 0.0;
-  for (NodeId w : csr.neighbors(v)) {
-    if (!informed.test(static_cast<std::size_t>(w))) continue;
-    r += (do_push ? winv[static_cast<std::size_t>(w)] : 0.0) + pull_w;
-  }
-  return r;
+  const std::span<const NodeId> around = csr.neighbors(v);
+  return simd::crossing_rate(around.data(), around.size(), informed.words().data(), winv.data(),
+                             do_push ? 1.0 : 0.0,
+                             pull_scale * winv[static_cast<std::size_t>(v)]);
 }
 
 class RateModel {
@@ -96,7 +96,11 @@ class RateModel {
     scratch_ = arena.make_span<double>(nsz);
     dirty_mark_ = arena.make_span<std::uint8_t>(config.track_dirty ? nsz : 0);
     std::fill(dirty_mark_.begin(), dirty_mark_.end(), std::uint8_t{0});
+    touch_mark_ = arena.make_span<std::uint8_t>(nsz);
+    std::fill(touch_mark_.begin(), touch_mark_.end(), std::uint8_t{0});
+    touched_.clear();
     dirty_.clear();
+    dirty_live_ = config.track_dirty;
     delta_updates_ = 0;
     full_rebuilds_ = 0;
   }
@@ -119,17 +123,37 @@ class RateModel {
   template <typename ParallelFor>
   bool on_change(const CsrView& csr, const std::optional<TopologyDelta>& delta,
                  std::int64_t informed_count, ParallelFor&& parallel_for) {
-    if (delta.has_value() && config_.track_dirty && config_.policy != DeltaPolicy::never &&
-        (config_.policy == DeltaPolicy::always || delta_cheaper(csr, *delta))) {
+    const bool took_delta = delta.has_value() && dirty_live_ &&
+                            config_.policy != DeltaPolicy::never &&
+                            (config_.policy == DeltaPolicy::always || delta_cheaper(csr, *delta));
+    if (took_delta) {
       apply_delta(csr, *delta);
-      return true;
+    } else {
+      rebuild(csr, informed_count, parallel_for);
     }
-    rebuild(csr, informed_count, parallel_for);
-    return false;
+    // Adaptive tracking: when this change-point's delta was so large the
+    // delta path could never win (≥2 candidates per changed edge already
+    // clears the cost bar), the family is in step-sized-churn territory and
+    // the next interval's dirty marks would be pure inform()-path overhead —
+    // stop taking them, which forces (the equally-exact) rebuild next time.
+    // Delta sizes are near-stationary for every registered family, so this
+    // costs at most one suboptimal path choice after a regime shift. Path
+    // choice never changes any value: both paths are bit-identical.
+    dirty_live_ = config_.track_dirty && config_.policy != DeltaPolicy::never &&
+                  (config_.policy == DeltaPolicy::always || !delta.has_value() ||
+                   2 * static_cast<std::int64_t>(delta->removed.size() + delta->added.size()) *
+                           kDeltaCostFactor <
+                       n_);
+    return took_delta;
   }
 
   // Full rebuild of winv and every rate at a change-point: O(n) tiled phases
-  // plus a walk of whichever side of the cut holds less volume.
+  // plus a gather sized to whichever side of the cut holds less volume. When
+  // the informed set is small, the *sparse* gather walks it once to collect
+  // the uninformed nodes it touches (O(informed volume)), then runs the
+  // per-node kernel on exactly those — same kernel, same bits as the full
+  // gather, but the kernel phase parallelizes over the touched list instead
+  // of serializing over the informed walk.
   template <typename ParallelFor>
   void rebuild(const CsrView& csr, std::int64_t informed_count, ParallelFor&& parallel_for) {
     csr_ = csr;
@@ -138,33 +162,49 @@ class RateModel {
     const Bitset& informed = *informed_;
     const bool do_push = config_.do_push;
     const double pull_scale = config_.pull_scale;
+    const auto nsz = static_cast<std::size_t>(n);
     const std::int64_t tiles = (n + kRebuildTile - 1) / kRebuildTile;
-    const bool walk_informed = informed_count * 2 <= n;
+    const bool sparse = informed_count * 2 <= n;
     parallel_for(tiles, [&](std::int64_t tile) {
-      const NodeId begin = static_cast<NodeId>(tile * kRebuildTile);
-      const NodeId end = static_cast<NodeId>(
-          std::min<std::int64_t>(static_cast<std::int64_t>(begin) + kRebuildTile, n));
-      for (NodeId u = begin; u < end; ++u) {
-        const NodeId deg = csr.degree(u);
-        winv_[static_cast<std::size_t>(u)] =
-            deg > 0 ? config_.beta / static_cast<double>(deg) : 0.0;
-      }
-      if (walk_informed) {
-        // The scatter walk below needs zeroed staging; the gather walk
-        // overwrites every entry, so it skips this pass entirely.
-        for (NodeId u = begin; u < end; ++u) scratch_[static_cast<std::size_t>(u)] = 0.0;
+      const std::size_t begin = static_cast<std::size_t>(tile) * kRebuildTile;
+      const std::size_t end = std::min(begin + kRebuildTile, nsz);
+      simd::fill_winv(csr.offsets, begin, end, config_.beta, winv_.data());
+      if (sparse) {
+        // The sparse gather only writes the touched entries; the rest of the
+        // staging must read 0. The full gather overwrites every entry.
+        std::fill(scratch_.begin() + static_cast<std::ptrdiff_t>(begin),
+                  scratch_.begin() + static_cast<std::ptrdiff_t>(end), 0.0);
       }
     });
-    if (walk_informed) {
-      for (NodeId u = 0; u < n; ++u) {
-        if (!informed.test(static_cast<std::size_t>(u))) continue;
-        const double push_w = do_push ? winv_[static_cast<std::size_t>(u)] : 0.0;
-        for (NodeId w : csr.neighbors(u)) {
-          if (informed.test(static_cast<std::size_t>(w))) continue;
-          scratch_[static_cast<std::size_t>(w)] +=
-              push_w + pull_scale * winv_[static_cast<std::size_t>(w)];
+    if (sparse) {
+      touched_.clear();
+      const std::span<const std::uint64_t> words = informed.words();
+      for (std::size_t wi = 0; wi < words.size(); ++wi) {
+        std::uint64_t bits = words[wi];
+        while (bits != 0) {
+          const auto u =
+              static_cast<NodeId>(wi * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+          bits &= bits - 1;
+          for (NodeId w : csr.neighbors(u)) {
+            const auto ww = static_cast<std::size_t>(w);
+            if (informed.test(ww) || touch_mark_[ww] != 0) continue;
+            touch_mark_[ww] = 1;
+            touched_.push_back(w);
+          }
         }
       }
+      const std::int64_t touched_tiles =
+          (static_cast<std::int64_t>(touched_.size()) + kRebuildTile - 1) / kRebuildTile;
+      parallel_for(touched_tiles, [&](std::int64_t tile) {
+        const std::size_t begin = static_cast<std::size_t>(tile) * kRebuildTile;
+        const std::size_t end = std::min(begin + kRebuildTile, touched_.size());
+        for (std::size_t k = begin; k < end; ++k) {
+          const NodeId v = touched_[k];
+          scratch_[static_cast<std::size_t>(v)] =
+              crossing_rate(csr, informed, winv_, do_push, pull_scale, v);
+        }
+      });
+      for (NodeId v : touched_) touch_mark_[static_cast<std::size_t>(v)] = 0;
     } else {
       parallel_for(tiles, [&](std::int64_t tile) {
         const NodeId begin = static_cast<NodeId>(tile * kRebuildTile);
@@ -192,13 +232,23 @@ class RateModel {
   void inform(NodeId v) {
     DG_ASSERT(informed_->test(static_cast<std::size_t>(v)), "inform() before setting the bit");
     rates_.clear(static_cast<std::size_t>(v));
-    if (config_.track_dirty) mark_dirty(v);
+    if (dirty_live_) mark_dirty(v);
     const double push_w = config_.do_push ? winv_[static_cast<std::size_t>(v)] : 0.0;
-    for (NodeId w : csr_.neighbors(v)) {
+    const std::span<const NodeId> around = csr_.neighbors(v);
+    // The neighbour updates hit ~3 random megabyte-scale arrays each; issuing
+    // all the prefetches first overlaps those misses instead of serializing
+    // them through the update loop.
+    for (NodeId w : around) {
+      rates_.prefetch(static_cast<std::size_t>(w));
+#if defined(__GNUC__) || defined(__clang__)
+      __builtin_prefetch(&winv_[static_cast<std::size_t>(w)]);
+#endif
+    }
+    for (NodeId w : around) {
       if (informed_->test(static_cast<std::size_t>(w))) continue;
       rates_.add(static_cast<std::size_t>(w),
                  push_w + config_.pull_scale * winv_[static_cast<std::size_t>(w)]);
-      if (config_.track_dirty) mark_dirty(w);
+      if (dirty_live_) mark_dirty(w);
     }
   }
 
@@ -303,7 +353,10 @@ class RateModel {
   std::span<double> winv_;              // β/deg per node, arena-backed
   std::span<double> scratch_;           // rebuild staging, arena-backed
   std::span<std::uint8_t> dirty_mark_;  // 1 = already in dirty_, arena-backed
+  std::span<std::uint8_t> touch_mark_;  // 1 = already in touched_, arena-backed
+  std::vector<NodeId> touched_;         // sparse-rebuild targets (cleared after use)
   std::vector<NodeId> dirty_;           // entries drifted since the last (re)build
+  bool dirty_live_ = false;             // dirty set complete since the last change-point
   std::vector<NodeId> endpoints_;       // delta-path scratch
   std::vector<NodeId> candidates_;      // delta-path scratch
   std::vector<std::size_t> refresh_idx_;

@@ -1,6 +1,7 @@
 #include "dynamic/edge_markovian.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "support/contracts.h"
@@ -36,16 +37,41 @@ std::int64_t pair_index(NodeId n, const Edge& e) {
   return row_start(n, e.u) + (e.v - e.u - 1);
 }
 
-// Counter-based per-(step, tile) stream seed, the same construction as the
-// runner's per-trial seeds: splitmix64 is a bijective mixer, so chaining one
-// mix per counter level yields independent streams for distinct
-// (seed, step, tile) triples with O(1) derivation from any worker.
-std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t step, std::uint64_t tile) {
-  std::uint64_t state = seed + step * 0x9e3779b97f4a7c15ULL;
-  std::uint64_t mixed = splitmix64(state);
-  mixed += tile * 0x9e3779b97f4a7c15ULL;
-  return splitmix64(mixed);
+bool lex_less(const Edge& a, const Edge& b) {
+  return a.u < b.u || (a.u == b.u && a.v < b.v);
 }
+
+// Incremental pair-index decoder for ascending queries. nth_pair's closed
+// form costs a sqrt and two fix-up loops per call; consecutive birth indices
+// within a tile almost always land in the same row (row u holds n-1-u
+// pairs), so seeding once and rolling row boundaries forward replaces the
+// sqrt with a rarely-taken while loop. Produces exactly nth_pair's result.
+class PairCursor {
+ public:
+  explicit PairCursor(NodeId n) : n_(n) {}
+
+  Edge at(std::int64_t idx) {
+    if (u_ < 0) {
+      const Edge e = nth_pair(n_, idx);
+      u_ = e.u;
+      begin_ = row_start(n_, u_);
+      end_ = begin_ + (n_ - 1 - u_);
+      return e;
+    }
+    while (idx >= end_) {
+      ++u_;
+      begin_ = end_;
+      end_ += n_ - 1 - u_;
+    }
+    return {static_cast<NodeId>(u_), static_cast<NodeId>(u_ + 1 + (idx - begin_))};
+  }
+
+ private:
+  NodeId n_;
+  std::int64_t u_ = -1;
+  std::int64_t begin_ = 0;
+  std::int64_t end_ = 0;  // row_start(u_), row_start(u_ + 1)
+};
 
 // Geometric-skip enumeration of Bernoulli(p) successes over the pair-index
 // range [lo, hi), for p in (0, 1): every success index is visited in
@@ -89,15 +115,28 @@ EdgeMarkovianNetwork::EdgeMarkovianNetwork(NodeId n, double p, double q, std::ui
       // of the same portable sequence contract.
       const std::int64_t tiles = (total + kPairsPerTile - 1) / kPairsPerTile;
       for (std::int64_t tile = 0; tile < tiles; ++tile) {
-        Rng rng(stream_seed(seed_, 0, static_cast<std::uint64_t>(tile)));
+        Rng rng(counter_stream_seed(seed_, 0, static_cast<std::uint64_t>(tile)));
         const std::int64_t lo = tile * kPairsPerTile;
         const std::int64_t hi = std::min(lo + kPairsPerTile, total);
+        PairCursor cursor(n_);
         geometric_skip(rng, density, lo, hi,
-                       [&](std::int64_t idx) { edges.push_back(nth_pair(n_, idx)); });
+                       [&](std::int64_t idx) { edges.push_back(cursor.at(idx)); });
       }
     }
   }
   topo_.rebuild_presorted(std::move(edges));
+}
+
+void EdgeMarkovianNetwork::set_parallel_evolution(ParallelEvolution* evolution) {
+  evolution_ = evolution;
+  if (evolution != nullptr) {
+    topo_.set_parallel_for(
+        [evolution](std::int64_t tasks, const std::function<void(std::int64_t)>& fn) {
+          evolution->run(tasks, fn);
+        });
+  } else {
+    topo_.set_parallel_for({});
+  }
 }
 
 void EdgeMarkovianNetwork::run_tiles(std::int64_t tiles,
@@ -117,6 +156,21 @@ void EdgeMarkovianNetwork::evolve() {
   tile_removed_.resize(static_cast<std::size_t>(tiles));
   tile_added_.resize(static_cast<std::size_t>(tiles));
 
+  // One sequential counting sweep replaces two binary searches per tile: the
+  // edge list ascends in pair index, so bucketing each edge by index >> tile
+  // width yields every tile's [begin, end) range in a single streaming pass
+  // over the snapshot instead of ~tiles·log m cache-missing probes into it.
+  static_assert((kPairsPerTile & (kPairsPerTile - 1)) == 0, "tile width must be a power of two");
+  const int tile_shift = std::countr_zero(static_cast<std::uint64_t>(kPairsPerTile));
+  tile_edge_start_.assign(static_cast<std::size_t>(tiles) + 1, 0);
+  for (const Edge& e : current) {
+    ++tile_edge_start_[static_cast<std::size_t>(pair_index(n_, e) >> tile_shift) + 1];
+  }
+  for (std::int64_t t = 0; t < tiles; ++t) {
+    const auto ts = static_cast<std::size_t>(t);
+    tile_edge_start_[ts + 1] += tile_edge_start_[ts];
+  }
+
   // Each tile owns the disjoint pair-index range [tile·W, (tile+1)·W) and a
   // private counter-based RNG stream: deaths first — one Bernoulli(q) draw
   // per current edge of the range, in ascending pair-index order (none at
@@ -135,37 +189,41 @@ void EdgeMarkovianNetwork::evolve() {
     added.clear();
     const std::int64_t lo = tile * kPairsPerTile;
     const std::int64_t hi = std::min(lo + kPairsPerTile, total);
-    const auto begin = std::lower_bound(
-        current.begin(), current.end(), lo,
-        [this](const Edge& e, std::int64_t idx) { return pair_index(n_, e) < idx; });
-    const auto end = std::lower_bound(
-        begin, current.end(), hi,
-        [this](const Edge& e, std::int64_t idx) { return pair_index(n_, e) < idx; });
+    const auto begin = current.begin() + static_cast<std::ptrdiff_t>(
+                                             tile_edge_start_[static_cast<std::size_t>(tile)]);
+    const auto end = current.begin() + static_cast<std::ptrdiff_t>(
+                                           tile_edge_start_[static_cast<std::size_t>(tile) + 1]);
 
     if (full_birth) {
       // Complete graph next step: add every non-edge of the range.
       auto it = begin;
+      PairCursor cursor(n_);
       for (std::int64_t idx = lo; idx < hi; ++idx) {
-        if (it != end && pair_index(n_, *it) == idx) {
+        const Edge e = cursor.at(idx);
+        if (it != end && *it == e) {
           ++it;
           continue;
         }
-        added.push_back(nth_pair(n_, idx));
+        added.push_back(e);
       }
       return;
     }
 
-    Rng rng(stream_seed(seed_, step, static_cast<std::uint64_t>(tile)));
+    Rng rng(counter_stream_seed(seed_, step, static_cast<std::uint64_t>(tile)));
     if (q_ > 0.0) {
       for (auto it = begin; it != end; ++it) {
         if (rng.flip(q_)) removed.push_back(*it);
       }
     }
-    auto it = begin;  // membership merge: both walks ascend in pair index
+    // Membership merge: both walks ascend in pair index, and pair index order
+    // is (u, v)-lexicographic order, so the comparison needs no arithmetic.
+    auto it = begin;
+    PairCursor cursor(n_);
     geometric_skip(rng, p_, lo, hi, [&](std::int64_t idx) {
-      while (it != end && pair_index(n_, *it) < idx) ++it;
-      if (it != end && pair_index(n_, *it) == idx) return;  // already an edge
-      added.push_back(nth_pair(n_, idx));
+      const Edge e = cursor.at(idx);
+      while (it != end && lex_less(*it, e)) ++it;
+      if (it != end && *it == e) return;  // already an edge
+      added.push_back(e);
     });
   });
 

@@ -50,7 +50,9 @@ class EdgeMarkovianNetwork final : public DynamicNetwork {
 
   bool reports_deltas() const override { return true; }
   std::optional<TopologyDelta> last_delta() const override;
-  void set_parallel_evolution(ParallelEvolution* evolution) override { evolution_ = evolution; }
+  // Keeps the pool for tiled evolution and forwards it to the builder's
+  // parallel delta merge.
+  void set_parallel_evolution(ParallelEvolution* evolution) override;
 
  private:
   void evolve();
@@ -69,6 +71,7 @@ class EdgeMarkovianNetwork final : public DynamicNetwork {
   // reused across steps (capacity only ever grows).
   std::vector<std::vector<Edge>> tile_removed_;
   std::vector<std::vector<Edge>> tile_added_;
+  std::vector<std::int64_t> tile_edge_start_;  // per-tile [begin, end) into edges()
   std::vector<Edge> removed_;
   std::vector<Edge> added_;
   bool delta_valid_ = false;

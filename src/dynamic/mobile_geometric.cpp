@@ -17,28 +17,67 @@ double wrap_delta(double a, double b) {
 
 MobileGeometricNetwork::MobileGeometricNetwork(NodeId n, double radius, double step,
                                                std::uint64_t seed)
-    : n_(n), radius_(radius), step_(step), rng_(seed), topo_(n) {
+    : n_(n), radius_(radius), step_(step), seed_(seed), topo_(n) {
   DG_REQUIRE(n >= 2, "need at least two agents");
   DG_REQUIRE(radius > 0.0 && radius < 0.5, "radius must lie in (0, 0.5)");
   DG_REQUIRE(step >= 0.0 && step < 0.5, "step must lie in [0, 0.5)");
   x_.resize(static_cast<std::size_t>(n));
   y_.resize(static_cast<std::size_t>(n));
-  for (NodeId u = 0; u < n; ++u) {
-    x_[static_cast<std::size_t>(u)] = rng_.uniform();
-    y_[static_cast<std::size_t>(u)] = rng_.uniform();
+  // Initial positions are stream counter 0 of the same tiled counter-based
+  // scheme as move(), so the whole position history is one portable contract.
+  const std::int64_t tiles = agent_tiles();
+  for (std::int64_t tile = 0; tile < tiles; ++tile) {
+    Rng rng(counter_stream_seed(seed_, 0, static_cast<std::uint64_t>(tile)));
+    const std::int64_t lo = tile * kAgentsPerTile;
+    const std::int64_t hi = std::min<std::int64_t>(n_, lo + kAgentsPerTile);
+    for (std::int64_t u = lo; u < hi; ++u) {
+      x_[static_cast<std::size_t>(u)] = rng.uniform();
+      y_[static_cast<std::size_t>(u)] = rng.uniform();
+    }
   }
   rebuild();
 }
 
-void MobileGeometricNetwork::move() {
-  for (NodeId u = 0; u < n_; ++u) {
-    const double angle = rng_.uniform() * 2.0 * M_PI;
-    const double r = rng_.uniform() * step_;
-    auto& x = x_[static_cast<std::size_t>(u)];
-    auto& y = y_[static_cast<std::size_t>(u)];
-    x = std::fmod(x + r * std::cos(angle) + 1.0, 1.0);
-    y = std::fmod(y + r * std::sin(angle) + 1.0, 1.0);
+void MobileGeometricNetwork::set_parallel_evolution(ParallelEvolution* evolution) {
+  evolution_ = evolution;
+  if (evolution != nullptr) {
+    topo_.set_parallel_for(
+        [evolution](std::int64_t tasks, const std::function<void(std::int64_t)>& fn) {
+          evolution->run(tasks, fn);
+        });
+  } else {
+    topo_.set_parallel_for({});
   }
+}
+
+void MobileGeometricNetwork::run_tiles(std::int64_t tiles,
+                                       const std::function<void(std::int64_t)>& fn) {
+  if (evolution_ != nullptr && tiles > 1) {
+    evolution_->run(tiles, fn);
+  } else {
+    for (std::int64_t tile = 0; tile < tiles; ++tile) fn(tile);
+  }
+}
+
+void MobileGeometricNetwork::move() {
+  const std::uint64_t step = ++move_count_;
+  // Each tile owns the agent range [tile·W, (tile+1)·W) and a private
+  // counter-based RNG stream: two uniforms per agent — angle, then length —
+  // in ascending agent order. Tiles write disjoint position slots, so the
+  // step is a pure function of (seed, step, tiling) on any thread schedule.
+  run_tiles(agent_tiles(), [&](std::int64_t tile) {
+    Rng rng(counter_stream_seed(seed_, step, static_cast<std::uint64_t>(tile)));
+    const std::int64_t lo = tile * kAgentsPerTile;
+    const std::int64_t hi = std::min<std::int64_t>(n_, lo + kAgentsPerTile);
+    for (std::int64_t u = lo; u < hi; ++u) {
+      const double angle = rng.uniform() * 2.0 * M_PI;
+      const double r = rng.uniform() * step_;
+      auto& x = x_[static_cast<std::size_t>(u)];
+      auto& y = y_[static_cast<std::size_t>(u)];
+      x = std::fmod(x + r * std::cos(angle) + 1.0, 1.0);
+      y = std::fmod(y + r * std::sin(angle) + 1.0, 1.0);
+    }
+  });
 }
 
 void MobileGeometricNetwork::rebuild() {
@@ -46,42 +85,84 @@ void MobileGeometricNetwork::rebuild() {
   const int cells = std::max(1, static_cast<int>(std::floor(1.0 / radius_)));
   const double cell_size = 1.0 / cells;
   const auto cells_sz = static_cast<std::size_t>(cells);
-  grid_.resize(cells_sz * cells_sz);
-  for (auto& cell : grid_) cell.clear();
-  auto& grid = grid_;
-  auto cell_of = [&](NodeId u) {
-    const int cx = std::min(cells - 1, static_cast<int>(x_[static_cast<std::size_t>(u)] / cell_size));
-    const int cy = std::min(cells - 1, static_cast<int>(y_[static_cast<std::size_t>(u)] / cell_size));
-    return static_cast<std::size_t>(cy) * cells_sz + static_cast<std::size_t>(cx);
-  };
-  for (NodeId u = 0; u < n_; ++u) grid[cell_of(u)].push_back(u);
+  const auto nsz = static_cast<std::size_t>(n_);
 
-  std::vector<Edge> edges;
+  // Pass 1 (parallel over agent tiles): each agent's flat cell id. Disjoint
+  // writes per tile; no randomness.
+  cell_index_.resize(nsz);
+  run_tiles(agent_tiles(), [&](std::int64_t tile) {
+    const std::int64_t lo = tile * kAgentsPerTile;
+    const std::int64_t hi = std::min<std::int64_t>(n_, lo + kAgentsPerTile);
+    for (std::int64_t u = lo; u < hi; ++u) {
+      const auto su = static_cast<std::size_t>(u);
+      const int cx = std::min(cells - 1, static_cast<int>(x_[su] / cell_size));
+      const int cy = std::min(cells - 1, static_cast<int>(y_[su] / cell_size));
+      cell_index_[su] = static_cast<std::int32_t>(cy * cells + cx);
+    }
+  });
+
+  // Pass 2 (serial, O(n + cells²)): counting-sort the agents into a flat CSR
+  // cell layout. Ascending-u fill keeps each cell's agents in agent order —
+  // the same membership order the old vector<vector> grid produced.
+  cell_start_.assign(cells_sz * cells_sz + 1, 0);
+  for (std::size_t u = 0; u < nsz; ++u) {
+    ++cell_start_[static_cast<std::size_t>(cell_index_[u]) + 1];
+  }
+  for (std::size_t c = 1; c < cell_start_.size(); ++c) cell_start_[c] += cell_start_[c - 1];
+  cell_cursor_.assign(cell_start_.begin(), cell_start_.end() - 1);
+  cell_agents_.resize(nsz);
+  for (std::size_t u = 0; u < nsz; ++u) {
+    const auto c = static_cast<std::size_t>(cell_index_[u]);
+    cell_agents_[static_cast<std::size_t>(cell_cursor_[c]++)] = static_cast<NodeId>(u);
+  }
+
+  // Pass 3 (parallel over cell rows): each row task scans its cells'
+  // 9-neighbourhoods and emits candidate pairs into its own slot. The edge
+  // *set* is independent of the task schedule, and the builder sorts (and,
+  // for the overlapping windows of cells < 3, dedupes) the concatenation, so
+  // the snapshot is byte-identical to the serial scan's.
   const double r2 = radius_ * radius_;
-  for (int cy = 0; cy < cells; ++cy) {
+  row_edges_.resize(cells_sz);
+  run_tiles(cells, [&](std::int64_t row) {
+    std::vector<Edge>& out = row_edges_[static_cast<std::size_t>(row)];
+    out.clear();
+    const int cy = static_cast<int>(row);
     for (int cx = 0; cx < cells; ++cx) {
-      const auto& here = grid[static_cast<std::size_t>(cy) * cells_sz + static_cast<std::size_t>(cx)];
+      const auto here_cell = static_cast<std::size_t>(cy) * cells_sz + static_cast<std::size_t>(cx);
+      const std::int64_t here_lo = cell_start_[here_cell];
+      const std::int64_t here_hi = cell_start_[here_cell + 1];
+      if (here_lo == here_hi) continue;
       for (int dy = -1; dy <= 1; ++dy) {
         for (int dx = -1; dx <= 1; ++dx) {
           const int ox = ((cx + dx) % cells + cells) % cells;
           const int oy = ((cy + dy) % cells + cells) % cells;
-          const auto& there = grid[static_cast<std::size_t>(oy) * cells_sz + static_cast<std::size_t>(ox)];
-          for (NodeId u : here) {
-            for (NodeId v : there) {
+          const auto there_cell =
+              static_cast<std::size_t>(oy) * cells_sz + static_cast<std::size_t>(ox);
+          const std::int64_t there_lo = cell_start_[there_cell];
+          const std::int64_t there_hi = cell_start_[there_cell + 1];
+          for (std::int64_t i = here_lo; i < here_hi; ++i) {
+            const NodeId u = cell_agents_[static_cast<std::size_t>(i)];
+            for (std::int64_t j = there_lo; j < there_hi; ++j) {
+              const NodeId v = cell_agents_[static_cast<std::size_t>(j)];
               if (u >= v) continue;
               const double ddx = wrap_delta(x_[static_cast<std::size_t>(u)],
                                             x_[static_cast<std::size_t>(v)]);
               const double ddy = wrap_delta(y_[static_cast<std::size_t>(u)],
                                             y_[static_cast<std::size_t>(v)]);
-              if (ddx * ddx + ddy * ddy <= r2) edges.push_back({u, v});
+              if (ddx * ddx + ddy * ddy <= r2) out.push_back({u, v});
             }
           }
         }
       }
     }
-  }
-  // Overlapping cell windows (cells < 3) emit the same pair twice; the
-  // builder's counting sort collapses the duplicates.
+  });
+
+  std::size_t total = 0;
+  for (const auto& out : row_edges_) total += out.size();
+  std::vector<Edge> edges;
+  edges.reserve(total);
+  for (const auto& out : row_edges_) edges.insert(edges.end(), out.begin(), out.end());
+
   const bool have_previous = topo_.has_snapshot();
   if (have_previous) prev_edges_ = topo_.current().edges();
   topo_.rebuild(std::move(edges), /*dedupe=*/true);

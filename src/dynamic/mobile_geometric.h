@@ -6,6 +6,19 @@
 // are connected whenever their torus distance is at most `radius`. The graph
 // can be disconnected — exactly the situation in which the paper's ⌈Φ⌉
 // indicator nulls a step's contribution in Theorem 1.3.
+//
+// Movement is *tiled and counter-based*, the same scheme as the
+// edge-Markovian family: the agent range is cut into fixed tiles of
+// kAgentsPerTile, and every step samples each tile's displacements from its
+// own RNG stream seeded by (seed, step, tile) — two uniforms per agent
+// (angle, then length) in ascending agent order. Stream counter 0 draws the
+// initial positions. The per-seed position sequence is therefore a pure
+// function of (n, radius, step, seed), independent of whether an engine lends
+// a ParallelEvolution pool and of that pool's worker count. The rebuild's
+// cell-grid passes (per-agent cell indexing, per-cell-row pair scans) run on
+// the same lent pool; they draw no randomness and the builder sorts and
+// dedupes the emitted pairs, so parallel emission order cannot change a
+// snapshot either.
 #pragma once
 
 #include <vector>
@@ -18,6 +31,10 @@ namespace rumor {
 
 class MobileGeometricNetwork final : public DynamicNetwork {
  public:
+  // Agents per movement tile. Fixed (never derived from the worker count) so
+  // the tiling — and with it the per-seed sequence — depends only on n.
+  static constexpr std::int64_t kAgentsPerTile = std::int64_t{1} << 13;
+
   MobileGeometricNetwork(NodeId n, double radius, double step, std::uint64_t seed = 23);
 
   NodeId node_count() const override { return n_; }
@@ -30,6 +47,9 @@ class MobileGeometricNetwork final : public DynamicNetwork {
   // (consuming no randomness — the per-seed sequence is unchanged).
   bool reports_deltas() const override { return true; }
   std::optional<TopologyDelta> last_delta() const override;
+  // Keeps the pool for the tiled move/rebuild passes and forwards it to the
+  // builder's parallel delta merge.
+  void set_parallel_evolution(ParallelEvolution* evolution) override;
 
   const std::vector<double>& xs() const { return x_; }
   const std::vector<double>& ys() const { return y_; }
@@ -37,15 +57,29 @@ class MobileGeometricNetwork final : public DynamicNetwork {
  private:
   void move();
   void rebuild();
+  std::int64_t agent_tiles() const {
+    return (static_cast<std::int64_t>(n_) + kAgentsPerTile - 1) / kAgentsPerTile;
+  }
+  void run_tiles(std::int64_t tiles, const std::function<void(std::int64_t)>& fn);
 
   NodeId n_ = 0;
   double radius_ = 0.1;
   double step_ = 0.02;
-  Rng rng_;
+  std::uint64_t seed_ = 0;
   std::vector<double> x_, y_;
   TopologyBuilder topo_;
-  std::vector<std::vector<NodeId>> grid_;  // proximity cells, reused per rebuild
+  ParallelEvolution* evolution_ = nullptr;
+  std::uint64_t move_count_ = 0;  // stream counter: 0 = initial positions
   std::int64_t last_step_ = -1;
+
+  // Rebuild scratch, reused across steps (capacity only ever grows): the
+  // cell grid as a counting-sorted CSR layout plus per-row pair outputs.
+  std::vector<std::int32_t> cell_index_;    // agent -> flat cell id
+  std::vector<std::int64_t> cell_start_;    // CSR offsets into cell_agents_
+  std::vector<std::int64_t> cell_cursor_;   // counting-sort fill cursors
+  std::vector<NodeId> cell_agents_;         // agents grouped by cell
+  std::vector<std::vector<Edge>> row_edges_;  // per-cell-row emitted pairs
+
   std::vector<Edge> prev_edges_;  // previous snapshot's edges, for the diff
   std::vector<Edge> removed_;
   std::vector<Edge> added_;

@@ -93,9 +93,10 @@ class Graph {
   friend class TopologyBuilder;
 
   // Re-initializes in place from normalized, sorted, duplicate-free edges with
-  // a fresh version; reuses this instance's vector capacity (TopologyBuilder's
-  // double-buffer recycling).
-  void assign_sorted(NodeId n, std::vector<Edge> edges);
+  // a fresh version. Swap semantics: `edges` receives this instance's previous
+  // edge buffer, so TopologyBuilder can hand the capacity straight back to the
+  // next delta merge instead of round-tripping it through the allocator.
+  void assign_sorted(NodeId n, std::vector<Edge>& edges);
 
   // Shared CSR fill over normalized sorted edges.
   void build_csr();

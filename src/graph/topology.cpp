@@ -53,9 +53,12 @@ const Graph& TopologyBuilder::current() const {
 const Graph& TopologyBuilder::install_sorted(std::vector<Edge> edges) {
   // The slot being overwritten is the snapshot from two rebuilds ago; nobody
   // may hold a reference to it any more (graph_at's one-step validity
-  // contract), so its vector capacity gets recycled in place.
+  // contract), so its vector capacity gets recycled in place — and the edge
+  // buffer it held comes back out (assign_sorted swaps) to seed the next
+  // merge_delta without an allocator round trip.
   const int next = 1 - live_;
-  graphs_[next].assign_sorted(n_, std::move(edges));
+  graphs_[next].assign_sorted(n_, edges);
+  spare_edges_ = std::move(edges);
   live_ = next;
   has_snapshot_ = true;
   return graphs_[live_];
@@ -118,7 +121,91 @@ const Graph& TopologyBuilder::merge_delta(std::span<const Edge> removed,
                                           std::span<const Edge> added) {
   DG_REQUIRE(has_snapshot_, "apply_delta needs a previous snapshot");
   const std::vector<Edge>& old = current().edges();
-  std::vector<Edge> merged;
+  std::vector<Edge> merged = std::move(spare_edges_);
+  merged.clear();
+
+  // Parallel path: cut the old edge list into fixed-width tiles and weave
+  // each tile independently. All three lists are strictly increasing, so a
+  // binary search on the tile's boundary edge old[t·W] splits the deltas into
+  // per-tile subranges, and — when the delta is valid — the tile's output
+  // lands at the exact offset t·W - r_lo(t) + a_lo(t) with exactly
+  // (hi - lo) - (r_hi - r_lo) + (a_hi - a_lo) entries. The result is the same
+  // byte sequence as the serial weave; only the write schedule differs.
+  //
+  // Validity cannot throw from pool threads (DG_REQUIRE must fire on the
+  // caller's thread), so each tile records a violation flag instead — a
+  // bounds-overrun, an addition already present, a removal not present, or a
+  // subrange left unconsumed — and any flag drops the whole merge back to the
+  // serial weave below, which raises the precise error.
+  const auto m = static_cast<std::int64_t>(old.size());
+  const std::int64_t tiles = (m + kMergeTileEdges - 1) / kMergeTileEdges;
+  if (parallel_for_ && m >= kParallelMergeMinEdges && tiles > 1 &&
+      removed.size() <= old.size()) {
+    merged.resize(old.size() - removed.size() + added.size());
+    merge_status_.assign(static_cast<std::size_t>(tiles), 0);
+    parallel_for_(tiles, [&](std::int64_t t) {
+      const std::int64_t lo = t * kMergeTileEdges;
+      const std::int64_t hi = std::min(m, lo + kMergeTileEdges);
+      auto split = [&](std::span<const Edge> delta, std::int64_t boundary) {
+        if (boundary == 0) return std::int64_t{0};
+        if (boundary >= m) return static_cast<std::int64_t>(delta.size());
+        return static_cast<std::int64_t>(
+            std::lower_bound(delta.begin(), delta.end(), old[static_cast<std::size_t>(boundary)],
+                             edge_less) -
+            delta.begin());
+      };
+      const std::int64_t r_hi = split(removed, hi);
+      const std::int64_t a_hi = split(added, hi);
+      std::int64_t r = split(removed, lo);
+      std::int64_t a = split(added, lo);
+      std::int64_t pos = lo - r + a;
+      const std::int64_t pos_end = hi - r_hi + a_hi;
+      bool bad = false;
+      for (std::int64_t i = lo; i < hi && !bad; ++i) {
+        const Edge& e = old[static_cast<std::size_t>(i)];
+        while (a < a_hi && edge_less(added[static_cast<std::size_t>(a)], e)) {
+          if (pos >= pos_end) {
+            bad = true;
+            break;
+          }
+          merged[static_cast<std::size_t>(pos++)] = added[static_cast<std::size_t>(a++)];
+        }
+        if (bad) break;
+        if (a < a_hi && added[static_cast<std::size_t>(a)] == e) {
+          bad = true;  // added edge already present
+          break;
+        }
+        if (r < r_hi && removed[static_cast<std::size_t>(r)] == e) {
+          ++r;
+          continue;
+        }
+        if (r < r_hi && edge_less(removed[static_cast<std::size_t>(r)], e)) {
+          bad = true;  // removed edge not present
+          break;
+        }
+        if (pos >= pos_end) {
+          bad = true;
+          break;
+        }
+        merged[static_cast<std::size_t>(pos++)] = e;
+      }
+      while (!bad && a < a_hi) {
+        if (pos >= pos_end) {
+          bad = true;
+          break;
+        }
+        merged[static_cast<std::size_t>(pos++)] = added[static_cast<std::size_t>(a++)];
+      }
+      if (bad || r != r_hi || a != a_hi || pos != pos_end) {
+        merge_status_[static_cast<std::size_t>(t)] = 1;
+      }
+    });
+    bool any_bad = false;
+    for (const std::uint8_t flag : merge_status_) any_bad = any_bad || flag != 0;
+    if (!any_bad) return install_sorted(std::move(merged));
+    merged.clear();
+  }
+
   merged.reserve(old.size() + added.size());
 
   // Single pass: copy old edges, dropping removals and weaving in additions.

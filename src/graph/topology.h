@@ -22,6 +22,8 @@
 // version(), so engines' version-compare change detection keeps working.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -41,10 +43,28 @@ void edge_symmetric_difference(const std::vector<Edge>& before, const std::vecto
 
 class TopologyBuilder {
  public:
+  // Old edges per merge tile, and the snapshot size below which the delta
+  // merge stays serial (tiling overhead beats the win on small graphs). Both
+  // fixed so the tiling never depends on the worker count.
+  static constexpr std::int64_t kMergeTileEdges = std::int64_t{1} << 16;
+  static constexpr std::int64_t kParallelMergeMinEdges = std::int64_t{1} << 17;
+
+  // Parallel-for with the ParallelEvolution::run signature: invokes fn(task)
+  // once per task in [0, tasks), on any threads. The graph layer cannot see
+  // dynamic/'s ParallelEvolution interface, so families forward their lent
+  // pool through this std::function instead (see set_parallel_evolution in
+  // the tiled families). Lending or revoking it never changes a snapshot:
+  // the parallel merge writes each tile to a precomputed disjoint output
+  // range of the same weave the serial path produces.
+  using ParallelFor = std::function<void(std::int64_t, const std::function<void(std::int64_t)>&)>;
+
   explicit TopologyBuilder(NodeId n);
 
   NodeId node_count() const { return n_; }
   bool has_snapshot() const { return has_snapshot_; }
+
+  // Lends (or with {} revokes) a parallel-for for the O(m) delta merge.
+  void set_parallel_for(ParallelFor parallel_for) { parallel_for_ = std::move(parallel_for); }
 
   // The latest snapshot; requires at least one rebuild first.
   const Graph& current() const;
@@ -84,6 +104,9 @@ class TopologyBuilder {
   int live_ = 0;
   std::vector<Edge> scratch_tmp_;
   std::vector<std::int64_t> scratch_count_;
+  std::vector<Edge> spare_edges_;  // evicted snapshot's buffer, seeds the next merge
+  ParallelFor parallel_for_;
+  std::vector<std::uint8_t> merge_status_;  // per-tile delta-violation flags
 };
 
 }  // namespace rumor

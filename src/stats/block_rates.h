@@ -11,6 +11,11 @@
 // exactly, and the engines re-assign at every topology change, which bounds
 // floating-point drift between rebuilds. sample() clamps rounding spill-over
 // to the last positive-rate entry, mirroring FenwickTree::sample.
+//
+// Every multi-term resum — per-block, per-superblock, and the total — runs
+// through simd::lane_sum, the hardware tier's lane-blocked summation kernel
+// (support/simd.h), so assign(), assign_tiled() and refresh_entries() share
+// one bit-exact summation order on every SIMD tier.
 #pragma once
 
 #include <algorithm>
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "support/contracts.h"
+#include "support/simd.h"
 
 namespace rumor {
 
@@ -62,15 +68,15 @@ class BlockRates {
 
   // Point-rewrites the listed entries and re-derives every sum they touch in
   // assign()'s exact summation order: each affected 64-entry block is resummed
-  // from its entries in index order, each affected superblock from its blocks
-  // in index order, and the cross-superblock total from all superblocks in
-  // index order. Entries not listed keep their values, so as long as `idx`
-  // covers every entry changed since the last assign()/refresh_entries() call
-  // (including ones changed through add()/clear()), the result is
-  // bit-identical to a full assign() of the updated rate vector — the
-  // invariant the engines' delta path at change-points is built on
-  // (core/rate_model.h). `idx` must be strictly ascending; O(|idx|·64 +
-  // n/4096).
+  // from its entries, each affected superblock from its blocks, and the
+  // cross-superblock total from all superblocks — every resum through the one
+  // lane-blocked kernel (simd::lane_sum) assign() itself uses. Entries not
+  // listed keep their values, so as long as `idx` covers every entry changed
+  // since the last assign()/refresh_entries() call (including ones changed
+  // through add()/clear()), the result is bit-identical to a full assign() of
+  // the updated rate vector — the invariant the engines' delta path at
+  // change-points is built on (core/rate_model.h). `idx` must be strictly
+  // ascending; O(|idx|·64 + n/4096).
   void refresh_entries(std::span<const std::size_t> idx, std::span<const double> vals) {
     DG_REQUIRE(idx.size() == vals.size(), "index/value arity mismatch");
     for (std::size_t k = 0; k < idx.size(); ++k) {
@@ -83,19 +89,13 @@ class BlockRates {
       const std::size_t b = idx[k] / kBlock;
       while (k < idx.size() && idx[k] / kBlock == b) ++k;  // one resum per block
       const std::size_t lo = b * kBlock;
-      const std::size_t hi = std::min(lo + kBlock, n_);
-      double sum = 0.0;
-      for (std::size_t i = lo; i < hi; ++i) sum += rate_[i];
-      block_[b] = sum;
+      block_[b] = simd::lane_sum(rate_.data() + lo, std::min(lo + kBlock, n_) - lo);
     }
     for (std::size_t k = 0; k < idx.size();) {
       const std::size_t s = idx[k] / kSuper;
       while (k < idx.size() && idx[k] / kSuper == s) ++k;  // one resum per superblock
-      const std::size_t lo = s * kBlock;
-      const std::size_t hi = std::min(lo + kBlock, block_.size());
-      double sum = 0.0;
-      for (std::size_t b = lo; b < hi; ++b) sum += block_[b];
-      super_[s] = sum;
+      const std::size_t lo = s * kBlock;  // kSuper/kBlock == kBlock blocks per superblock
+      super_[s] = simd::lane_sum(block_.data() + lo, std::min(lo + kBlock, block_.size()) - lo);
     }
     finish_assign();
   }
@@ -112,6 +112,19 @@ class BlockRates {
   double value(std::size_t i) const {
     DG_REQUIRE(i < n_, "rate index out of range");
     return rate_[i];
+  }
+
+  // Hints the cache lines a forthcoming add(i)/clear(i) will touch. The
+  // entry and block tables span megabytes at large n, so an inform()-burst
+  // of neighbour updates is latency-bound without this; prefetching is
+  // advisory and cannot change any value.
+  void prefetch(std::size_t i) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&rate_[i], 1);
+    __builtin_prefetch(&block_[i / kBlock], 1);
+#else
+    (void)i;
+#endif
   }
 
   // Adds delta to rate i; the result is clamped at zero (absorbing the same
@@ -175,25 +188,44 @@ class BlockRates {
     total_ = 0.0;
   }
 
-  // Copies one entry range and sums its blocks/superblocks. `begin` must be
+  // Copies one entry range and sums its blocks/superblocks, all through the
+  // lane-blocked kernels. The copy doubles as the non-negativity check: a
+  // violation mask accumulates across the vector groups, and only when it
+  // fires does a scalar rescan name the offending entry. `begin` must be
   // superblock-aligned so concurrent tiles never share a partial sum.
   void fill_tile(std::span<const double> rates, std::size_t begin, std::size_t end) {
     DG_ASSERT(begin % kSuper == 0, "tile start must be superblock-aligned");
-    for (std::size_t i = begin; i < end; ++i) {
-      DG_REQUIRE(rates[i] >= 0.0, "rates must be non-negative");
+    simd::Vec8d bad = simd::vzero();
+    std::size_t i = begin;
+    for (; i + 8 <= end; i += 8) {
+      const simd::Vec8d x = simd::vload(rates.data() + i);
+      bad = simd::vor(bad, simd::vnonneg_violation(x));
+      simd::vstore(rate_.data() + i, x);
+    }
+    bool tail_bad = false;
+    for (; i < end; ++i) {
+      tail_bad = tail_bad || !(rates[i] >= 0.0);
       rate_[i] = rates[i];
-      block_[i / kBlock] += rates[i];
+    }
+    if (simd::vany(bad) || tail_bad) {
+      for (std::size_t j = begin; j < end; ++j) {
+        DG_REQUIRE(rates[j] >= 0.0, "rates must be non-negative");
+      }
     }
     for (std::size_t b = begin / kBlock; b < (end + kBlock - 1) / kBlock; ++b) {
-      super_[b / kBlock] += block_[b];
+      const std::size_t lo = b * kBlock;
+      block_[b] = simd::lane_sum(rate_.data() + lo, std::min(lo + kBlock, n_) - lo);
+    }
+    for (std::size_t s = begin / kSuper; s < (end + kSuper - 1) / kSuper; ++s) {
+      const std::size_t lo = s * kBlock;  // kSuper/kBlock == kBlock blocks per superblock
+      super_[s] = simd::lane_sum(block_.data() + lo, std::min(lo + kBlock, block_.size()) - lo);
     }
   }
 
-  // Serial cross-superblock total, identical summation order for any tiling.
-  void finish_assign() {
-    total_ = 0.0;
-    for (double s : super_) total_ += s;
-  }
+  // Cross-superblock total — the same lane-blocked kernel over the superblock
+  // array, identical for any tiling because it always runs over the whole
+  // array after the tiles complete.
+  void finish_assign() { total_ = simd::lane_sum(super_); }
 
   std::size_t n_ = 0;
   std::vector<double> rate_;   // raw rates

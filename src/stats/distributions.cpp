@@ -3,12 +3,19 @@
 #include <cmath>
 
 #include "support/contracts.h"
+#include "support/simd.h"
 
 namespace rumor {
 
+// The exponential/geometric inverse-CDF samplers run on simd::portable_log,
+// not std::log: uniform_positive() ∈ [2^-53, 1] is exactly its domain, it is
+// bitwise identical between the scalar call here and the vectorized block
+// transform in ExponentialBlock::refill, and it removes the platform libm
+// from the event-path record contract entirely (std::log implementations
+// differ across architectures; portable_log is one fixed IEEE sequence).
 double sample_exponential(Rng& rng, double rate) {
   DG_REQUIRE(rate > 0.0, "exponential rate must be positive");
-  return -std::log(rng.uniform_positive()) / rate;
+  return -simd::portable_log(rng.uniform_positive()) / rate;
 }
 
 ExponentialBlock::ExponentialBlock(std::size_t block) : block_(block) {
@@ -18,8 +25,11 @@ ExponentialBlock::ExponentialBlock(std::size_t block) : block_(block) {
 
 void ExponentialBlock::refill(Rng& rng) {
   buf_.resize(block_);
+  // Uniforms first, in sequence (the determinism contract in the header),
+  // then one vectorized -log sweep — the abseil pool_urbg shape: bulk
+  // generation feeding a tight transform the hardware tier can pipeline.
   for (double& e : buf_) e = rng.uniform_positive();
-  for (double& e : buf_) e = -std::log(e);
+  simd::negative_log_transform(buf_.data(), buf_.size());
   pos_ = 0;
 }
 
@@ -71,8 +81,10 @@ std::int64_t sample_poisson(Rng& rng, double mean) {
 std::int64_t sample_geometric(Rng& rng, double p) {
   DG_REQUIRE(p > 0.0 && p <= 1.0, "geometric parameter must lie in (0,1]");
   if (p == 1.0) return 0;
-  // Inverse CDF: floor(log(U) / log(1-p)).
-  return static_cast<std::int64_t>(std::floor(std::log(rng.uniform_positive()) /
+  // Inverse CDF: floor(log(U) / log(1-p)). The U transform shares the
+  // hardware tier's portable log; log1p of the fixed parameter stays on libm
+  // (one call per sample, not per-U, and log1p has no vector tier).
+  return static_cast<std::int64_t>(std::floor(simd::portable_log(rng.uniform_positive()) /
                                               std::log1p(-p)));
 }
 

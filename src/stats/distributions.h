@@ -17,10 +17,12 @@ double sample_exponential(Rng& rng, double rate);
 // Unit-rate exponential clock variates drawn in blocks.
 //
 // The async engines consume one exponential per event; drawing them a block at
-// a time turns the per-event uniform+log into a tight refill loop the compiler
-// can pipeline. Determinism contract: a refill draws `block` uniforms from the
-// caller's Rng in sequence and next() hands them back in that same order, so
-// the variate *stream* is identical to per-event sample_exponential(rng, 1.0)
+// a time turns the per-event uniform+log into a bulk refill whose -log(U)
+// sweep runs on the hardware tier's vectorized portable log (support/simd.h).
+// Determinism contract: a refill draws `block` uniforms from the caller's Rng
+// in sequence and next() hands them back in that same order, and the vector
+// log is bitwise identical to the scalar portable_log per-event path, so the
+// variate *stream* is identical to per-event sample_exponential(rng, 1.0)
 // calls — only the interleaving with other draws from the same Rng shifts,
 // which is why the jump/tick engines' per-seed trajectories changed (and their
 // spread-time distributions provably did not; see the KS tests).

@@ -64,4 +64,11 @@ bool Rng::flip(double p) { return uniform() < p; }
 
 Rng Rng::split() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
 
+std::uint64_t counter_stream_seed(std::uint64_t seed, std::uint64_t step, std::uint64_t tile) {
+  std::uint64_t state = seed + step * 0x9e3779b97f4a7c15ULL;
+  std::uint64_t mixed = splitmix64(state);
+  mixed += tile * 0x9e3779b97f4a7c15ULL;
+  return splitmix64(mixed);
+}
+
 }  // namespace rumor

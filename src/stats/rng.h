@@ -53,4 +53,12 @@ class Rng {
 // splitmix64 step, exposed for seeding hierarchies of generators.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+// Counter-based per-(step, tile) stream seed, the same construction as the
+// runner's per-trial seeds: splitmix64 is a bijective mixer, so chaining one
+// mix per counter level yields independent streams for distinct
+// (seed, step, tile) triples with O(1) derivation from any worker. The tiled
+// dynamic families (edge-Markovian evolution, mobile-geometric moves) build
+// their portable parallel sampling on this.
+std::uint64_t counter_stream_seed(std::uint64_t seed, std::uint64_t step, std::uint64_t tile);
+
 }  // namespace rumor

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "support/contracts.h"
@@ -50,6 +51,11 @@ class Bitset {
     const std::size_t tail = n_ & 63;
     if (tail != 0) words_.back() = (std::uint64_t{1} << tail) - 1;
   }
+
+  // The raw 64-bit words (bit i of the set is bit i%64 of word i/64): the
+  // SIMD crossing-rate kernel builds its informed masks straight from these,
+  // and the sparse-rebuild walk scans them with find-first-set.
+  std::span<const std::uint64_t> words() const { return words_; }
 
   // Population count; O(n/64).
   std::size_t count() const {

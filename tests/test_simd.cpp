@@ -1,0 +1,181 @@
+// Bitwise identity suite for the hardware tier (support/simd.h).
+//
+// Every kernel must produce byte-identical results to its simd::ref scalar
+// spelling on whatever backend this build selected — that equality, proved
+// here on randomized inputs (unaligned tails, denormal rates, informed-bit
+// patterns), is what lets the golden fingerprints pin one record stream
+// across the CI -march matrix (baseline x86-64, AVX2, forced scalar).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "stats/distributions.h"
+#include "stats/rng.h"
+#include "support/simd.h"
+
+namespace rumor {
+namespace {
+
+// EXPECT_EQ on doubles misses the -0.0 vs +0.0 and NaN cases; compare bytes.
+::testing::AssertionResult BitEqual(double a, double b) {
+  std::uint64_t ab = 0;
+  std::uint64_t bb = 0;
+  std::memcpy(&ab, &a, sizeof(a));
+  std::memcpy(&bb, &b, sizeof(b));
+  if (ab == bb) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << std::hexfloat << a << " (0x" << std::hex << ab << ") != " << std::hexfloat << b
+         << " (0x" << std::hex << bb << ")";
+}
+
+TEST(PortableLog, ExactlyZeroAtOne) {
+  const double r = simd::portable_log(1.0);
+  EXPECT_TRUE(BitEqual(r, 0.0));
+  // And the negated transform must carry the sign: -log(1.0) = -0.0.
+  double buf[1] = {1.0};
+  simd::negative_log_transform(buf, 1);
+  EXPECT_TRUE(BitEqual(buf[0], -0.0));
+}
+
+TEST(PortableLog, CloseToLibmOnUniformDomain) {
+  // portable_log is faithfully rounded (~1 ulp); libm is as well, so the two
+  // agree to a couple of ulp everywhere on the uniform_positive() domain.
+  Rng rng(101);
+  for (int i = 0; i < 200000; ++i) {
+    const double x = rng.uniform_positive();
+    const double got = simd::portable_log(x);
+    const double want = std::log(x);
+    const double tol = 4.0 * std::numeric_limits<double>::epsilon() *
+                       std::max(std::abs(want), 0.5);
+    EXPECT_NEAR(got, want, tol) << "x=" << std::hexfloat << x;
+  }
+  // Domain endpoints: the smallest and largest uniform_positive() values.
+  for (const double x : {0x1.0p-53, 1.0 - 0x1.0p-53, 0x1.0p-52}) {
+    EXPECT_NEAR(simd::portable_log(x), std::log(x),
+                4.0 * std::numeric_limits<double>::epsilon() * std::abs(std::log(x)));
+  }
+}
+
+TEST(LaneSum, MatchesRefOnAllTailLengths) {
+  // Lengths 0..65 cover every lane-remainder and group-count combination.
+  Rng rng(7);
+  for (std::size_t len = 0; len <= 65; ++len) {
+    std::vector<double> x(len + 1);  // +1 slot so data() is valid at len=0
+    for (std::size_t k = 0; k < len; ++k) x[k] = rng.uniform_positive() * 3.0;
+    EXPECT_TRUE(BitEqual(simd::lane_sum(x.data(), len), simd::ref::lane_sum(x.data(), len)))
+        << "len=" << len;
+  }
+}
+
+TEST(LaneSum, MatchesRefOnDenormalsAndLargeBlocks) {
+  Rng rng(8);
+  std::vector<double> x(4097);
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    // Mix magnitudes: denormals (~1e-320), tiny rates, and O(1) values — the
+    // dynamic range a million-node rate table actually spans.
+    switch (k % 3) {
+      case 0: x[k] = 1e-320 * (1.0 + rng.uniform()); break;
+      case 1: x[k] = rng.uniform_positive() * 1e-9; break;
+      default: x[k] = rng.uniform_positive();
+    }
+  }
+  for (const std::size_t len : {std::size_t{64}, std::size_t{1000}, x.size()}) {
+    EXPECT_TRUE(BitEqual(simd::lane_sum(x.data(), len), simd::ref::lane_sum(x.data(), len)))
+        << "len=" << len;
+  }
+}
+
+TEST(FillWinv, MatchesRefIncludingZeroDegrees) {
+  Rng rng(9);
+  const std::size_t n = 1000;
+  std::vector<std::int64_t> offsets(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Degree 0 every few nodes: the masked-divide path must emit exactly 0.0.
+    const std::int64_t deg = (i % 7 == 0) ? 0 : static_cast<std::int64_t>(rng.below(50));
+    offsets[i + 1] = offsets[i] + deg;
+  }
+  const double beta = 1.25;
+  std::vector<double> got(n, -1.0);
+  std::vector<double> want(n, -1.0);
+  // Unaligned begin/end exercise the scalar tail on both sides of the tile.
+  const std::pair<std::size_t, std::size_t> ranges[] = {{0, n}, {3, 997}, {64, 128}, {5, 6}};
+  for (const auto& [begin, end] : ranges) {
+    simd::fill_winv(offsets.data(), begin, end, beta, got.data());
+    simd::ref::fill_winv(offsets.data(), begin, end, beta, want.data());
+    for (std::size_t i = begin; i < end; ++i) {
+      EXPECT_TRUE(BitEqual(got[i], want[i])) << "i=" << i;
+    }
+  }
+}
+
+TEST(CrossingRate, MatchesRefOnRandomAdjacency) {
+  Rng rng(10);
+  const std::size_t n = 2048;
+  std::vector<double> winv(n);
+  for (auto& w : winv) w = rng.uniform_positive() * 0.5;
+  std::vector<std::uint64_t> informed_words(n / 64, 0);
+  for (std::size_t b = 0; b < n / 4; ++b) {
+    const std::uint64_t i = rng.below(n);
+    informed_words[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  // Degrees 0..70 cover empty lists, partial first groups, and full groups
+  // plus unaligned tails; push_flag and pull_w take the engine's real values.
+  for (std::size_t deg = 0; deg <= 70; ++deg) {
+    std::vector<std::int32_t> adj(deg + 1);
+    for (std::size_t k = 0; k < deg; ++k) adj[k] = static_cast<std::int32_t>(rng.below(n));
+    for (const double push_flag : {1.0, 0.0}) {
+      const double pull_w = rng.uniform() * 0.01;
+      EXPECT_TRUE(BitEqual(
+          simd::crossing_rate(adj.data(), deg, informed_words.data(), winv.data(), push_flag,
+                              pull_w),
+          simd::ref::crossing_rate(adj.data(), deg, informed_words.data(), winv.data(), push_flag,
+                                   pull_w)))
+          << "deg=" << deg << " push=" << push_flag;
+    }
+  }
+}
+
+TEST(NegativeLogTransform, MatchesRefAndScalarLog) {
+  Rng rng(11);
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8}, std::size_t{9},
+        std::size_t{64}, std::size_t{127}, std::size_t{128}, std::size_t{1000}}) {
+    std::vector<double> uniforms(len + 1);
+    for (std::size_t k = 0; k < len; ++k) uniforms[k] = rng.uniform_positive();
+    if (len > 0) uniforms[len / 2] = 1.0;  // the -0.0 corner rides along
+    std::vector<double> got = uniforms;
+    std::vector<double> want = uniforms;
+    simd::negative_log_transform(got.data(), len);
+    simd::ref::negative_log_transform(want.data(), len);
+    for (std::size_t k = 0; k < len; ++k) {
+      EXPECT_TRUE(BitEqual(got[k], want[k])) << "len=" << len << " k=" << k;
+      EXPECT_TRUE(BitEqual(got[k], -simd::portable_log(uniforms[k]))) << "k=" << k;
+    }
+  }
+}
+
+TEST(ExponentialBlock, BulkPathDrawsSameStreamAsPerEvent) {
+  // The block refill must consume the Rng exactly like per-event sampling
+  // and produce bitwise the same variates — the determinism contract that
+  // lets the engines batch their clocks without changing any record.
+  Rng block_rng(42);
+  Rng event_rng(42);
+  ExponentialBlock block(128);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(BitEqual(block.next(block_rng), sample_exponential(event_rng, 1.0))) << "i=" << i;
+  }
+  // Both consumed the same number of draws only at refill boundaries; after
+  // whole blocks the underlying streams must coincide again.
+  Rng a(43);
+  Rng b(43);
+  ExponentialBlock whole(64);
+  for (int i = 0; i < 128; ++i) (void)whole.next(a);
+  for (int i = 0; i < 128; ++i) (void)sample_exponential(b, 1.0);
+  EXPECT_EQ(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace rumor

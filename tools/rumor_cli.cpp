@@ -40,6 +40,7 @@
 #include "support/cli.h"
 #include "support/json.h"
 #include "support/resource.h"
+#include "support/simd.h"
 #include "support/table.h"
 #include "support/timer.h"
 
@@ -514,6 +515,19 @@ int cmd_fingerprint(const Cli& cli, const std::string& self) {
   return 0;
 }
 
+// Emits one JSON line describing the hardware tier this binary was compiled
+// for: the selected SIMD ISA (support/simd.h), its lane-block width, and the
+// host's thread budget. Benchmark recordings prepend this record so a BENCH
+// file is self-describing — a flat thread curve or an odd kernel ratio can be
+// read off against the machine that produced it (scripts/run_bench.sh).
+int cmd_hwinfo(std::ostream& os) {
+  os << "{\"record\":\"hw_info\",\"simd_tier\":\"" << simd::kTierName
+     << "\",\"simd_lanes\":" << simd::kLanes
+     << ",\"hardware_concurrency\":" << std::thread::hardware_concurrency()
+     << ",\"build\":\"" << RUMOR_BUILD_INFO << "\"}\n";
+  return 0;
+}
+
 int usage(std::ostream& os, int code) {
   os << "usage: rumor_cli <subcommand> [options]\n\n"
         "subcommands:\n"
@@ -537,6 +551,8 @@ int usage(std::ostream& os, int code) {
         "  fingerprint            SHA-256 per cell over the canonical record\n"
         "            stream; grid options as sweep, or RECORDED.json operands\n"
         "            to fingerprint recordings without re-running them\n"
+        "  hwinfo                 one-line hw_info JSON record: compiled SIMD\n"
+        "            tier, lane-block width, hardware thread count, build id\n"
         "\n"
         "scale-tier options (run and sweep):\n"
         "  --scale     large-n preset: threads = hardware concurrency, trials 8\n"
@@ -567,6 +583,7 @@ int dispatch(int argc, char** argv) {
   if (subcommand == "sweep") return cmd_sweep(cli, self_binary_path(argv[0]));
   if (subcommand == "replay") return cmd_replay(cli, self_binary_path(argv[0]));
   if (subcommand == "fingerprint") return cmd_fingerprint(cli, self_binary_path(argv[0]));
+  if (subcommand == "hwinfo") return cmd_hwinfo(std::cout);
   // Hidden: one shard of a sharded run (spawned by the coordinator, not
   // listed in usage).
   if (subcommand == "worker") return cmd_worker(cli);
