@@ -29,12 +29,57 @@ elseif(NOT RUMOR_SIMD STREQUAL "auto")
   message(FATAL_ERROR "RUMOR_SIMD must be 'auto' or 'scalar', got '${RUMOR_SIMD}'")
 endif()
 
-# Optional sanitizers: -DSANITIZE=address,undefined (or thread, leak, ...).
-set(SANITIZE "" CACHE STRING "Comma-separated sanitizers to enable (e.g. address,undefined)")
+# Optional sanitizers: -DSANITIZE=address,undefined or -DSANITIZE=thread.
+# The value is validated here because the combinations matter: ASan and TSan
+# own incompatible shadow-memory layouts, so requesting both is a
+# configuration error the compiler reports too late (at link, or at run
+# time), and a typo ("threads") must not silently build an unsanitized
+# binary that CI then trusts as a race-clean run.
+set(SANITIZE "" CACHE STRING
+  "Comma-separated sanitizers: any of address,undefined,leak or thread (exclusive)")
 if(SANITIZE)
   string(REPLACE "," ";" _san_list "${SANITIZE}")
+  set(_san_known address undefined leak thread)
+  foreach(_san IN LISTS _san_list)
+    if(NOT _san IN_LIST _san_known)
+      message(FATAL_ERROR "SANITIZE: unknown sanitizer '${_san}' "
+        "(known: address, undefined, leak, thread)")
+    endif()
+  endforeach()
+  if("thread" IN_LIST _san_list AND (("address" IN_LIST _san_list) OR ("leak" IN_LIST _san_list)))
+    message(FATAL_ERROR "SANITIZE: thread cannot combine with address/leak "
+      "(incompatible shadow memory); build separate trees")
+  endif()
   foreach(_san IN LISTS _san_list)
     target_compile_options(rumor_build_flags INTERFACE -fsanitize=${_san} -fno-omit-frame-pointer)
     target_link_options(rumor_build_flags INTERFACE -fsanitize=${_san})
   endforeach()
+endif()
+
+# Stamp the sanitizer configuration into the binaries: `rumor_cli hwinfo`
+# reports it, and scripts/run_bench.sh refuses to record BENCH snapshots from
+# a sanitized build — sanitizer runtimes distort wall clock by 5-20x, so one
+# unlabelled TSan measurement would poison every downstream trend comparison.
+if(SANITIZE)
+  set(RUMOR_SANITIZER_STRING "${SANITIZE}")
+else()
+  set(RUMOR_SANITIZER_STRING "none")
+endif()
+target_compile_definitions(rumor_build_flags INTERFACE
+  RUMOR_SANITIZER=\"${RUMOR_SANITIZER_STRING}\")
+
+# Static analysis: -DRUMOR_CLANG_TIDY=ON runs clang-tidy (config: .clang-tidy
+# at the repo root) on every TU as it compiles. Off by default — the analysis
+# roughly triples compile time — and fatal when the tool is missing, because
+# a leg that silently skipped analysis would report a lie. CI uses
+# scripts/run_clang_tidy.sh over the compile database instead, which
+# parallelizes better and supports changed-files mode for local runs.
+option(RUMOR_CLANG_TIDY "Run clang-tidy alongside compilation" OFF)
+if(RUMOR_CLANG_TIDY)
+  find_program(RUMOR_CLANG_TIDY_EXE NAMES clang-tidy)
+  if(NOT RUMOR_CLANG_TIDY_EXE)
+    message(FATAL_ERROR "RUMOR_CLANG_TIDY=ON but no clang-tidy in PATH")
+  endif()
+  # Included via include(), so this sets the caller's (top-level) scope.
+  set(CMAKE_CXX_CLANG_TIDY "${RUMOR_CLANG_TIDY_EXE}")
 endif()

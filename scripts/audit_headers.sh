@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Header audit: every header under src/ (and bench/common) must compile
-# standalone, every src/*.cpp must have a matching .h next to it
-# (engine/test-only entry points excepted by listing them here), and every
-# public header plus every tools/ entry point must open with a documentation
-# comment block.
+# standalone, and every src/*.cpp must have a matching .h next to it
+# (engine/test-only entry points excepted by listing them here).
+#
+# Doc-comment coverage used to live here as check 3; it moved into
+# scripts/lint_determinism.py (rule: header-doc), which runs in the lint CI
+# job and as a ctest entry — one linter owns all textual policy checks.
 #
 # Usage: scripts/audit_headers.sh  (from the repo root; exits non-zero on any
 # violation and prints the offending files).
@@ -15,42 +17,30 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
 # 1. Standalone compilation of every header.
-for h in $(find src -name '*.h' | sort) bench/common/bench_util.h; do
+while IFS= read -r h; do
+  flags=(-Isrc)
   case "$h" in
-    src/*)          inc="${h#src/}";   flags="-Isrc" ;;
-    bench/common/*) inc="${h#bench/}"; flags="-Isrc -Ibench" ;;
+    src/*)          inc="${h#src/}" ;;
+    bench/common/*) inc="${h#bench/}"; flags=(-Isrc -Ibench) ;;
+    *)              continue ;;
   esac
   echo "#include \"$inc\"" > "$tmp/probe.cpp"
-  if ! g++ -std=c++20 $flags -fsyntax-only -Wall -Wextra "$tmp/probe.cpp" 2> "$tmp/err"; then
+  if ! g++ -std=c++20 "${flags[@]}" -fsyntax-only -Wall -Wextra "$tmp/probe.cpp" 2> "$tmp/err"; then
     echo "NOT SELF-CONTAINED: $h"
     sed 's/^/    /' "$tmp/err" | head -5
     status=1
   fi
-done
+done < <({ find src -name '*.h' | sort; echo bench/common/bench_util.h; })
 
 # 2. Every src/*.cpp has a corresponding header.
-for c in $(find src -name '*.cpp' | sort); do
+while IFS= read -r c; do
   if [ ! -f "${c%.cpp}.h" ]; then
     echo "NO HEADER: $c"
     status=1
   fi
-done
-
-# 3. Every public header (src/, bench/common) and every driver entry point
-# (tools/*.cpp) must start with a documentation comment: the first line is a
-# '//' or '/*' comment describing the module.
-for f in $(find src bench/common -name '*.h' | sort) $(find tools -name '*.cpp' | sort); do
-  first=$(head -1 "$f")
-  case "$first" in
-    //*|/\**) ;;
-    *)
-      echo "UNDOCUMENTED: $f (first line must be a comment block)"
-      status=1
-      ;;
-  esac
-done
+done < <(find src -name '*.cpp' | sort)
 
 if [ "$status" -eq 0 ]; then
   echo "header audit: OK"
 fi
-exit $status
+exit "$status"

@@ -10,9 +10,8 @@ set -u
 cd "$(dirname "$0")/.."
 
 status=0
-files=$(find . -name '*.md' -not -path './build*' -not -path './.git/*' | sort)
 
-for f in $files; do
+while IFS= read -r f; do
   dir=$(dirname "$f")
   # Pull out all (...) targets of markdown links; tolerate several per line.
   links=$(grep -o '\[[^]]*\]([^)]*)' "$f" | sed 's/.*(\(.*\))/\1/') || continue
@@ -30,9 +29,9 @@ for f in $files; do
       status=1
     fi
   done <<< "$links"
-done
+done < <(find . -name '*.md' -not -path './build*' -not -path './.git/*' | sort)
 
 if [ "$status" -eq 0 ]; then
   echo "docs link check: OK"
 fi
-exit $status
+exit "$status"

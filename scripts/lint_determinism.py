@@ -1,0 +1,338 @@
+#!/usr/bin/env python3
+"""Determinism linter: the repo's written determinism contracts, enforced
+mechanically.
+
+The reproducibility harness (docs/ARCHITECTURE.md) promises byte-identical
+records for any thread/shard/ISA count. Most of that contract is enforced by
+tests diffing record streams, but several bug classes slip past end-to-end
+diffs until CI runs on hardware (or a standard library) that happens to
+diverge. Each rule here pins one such class at the source level:
+
+  unordered-iteration  Iterating a std::unordered_{set,map} makes record
+                       content depend on hash-table iteration order, which is
+                       implementation-defined — the PR 5 libstdc++/libc++
+                       edge-Markovian divergence was exactly this. In
+                       record-producing layers (src/core, src/dynamic,
+                       src/graph, src/stats, src/scenarios, src/bounds,
+                       src/exec, src/repro) the containers are banned
+                       outright; elsewhere in src/ and tools/ keyed lookup is
+                       fine but iterating one is flagged.
+  banned-randomness    rand()/srand(), std::random_device, time()/clock(),
+                       and system_clock are non-reproducible entropy or wall
+                       clock. All randomness must come from the seeded
+                       counter-based Rng (stats/rng.h); all timing from
+                       support/timer.h. Only src/support/ may touch the
+                       underlying primitives.
+  raw-thread           Threads may only be created at the two audited seams —
+                       core/trial_pool and serve/server. A raw std::thread
+                       (or std::async/pthread_create) anywhere else is
+                       unpooled concurrency the TSan CI leg and the
+                       determinism arguments don't cover.
+  fp-reassociation     Pragmas or flags that let the compiler reassociate or
+                       contract floating-point expressions (-ffast-math,
+                       -ffp-contract=fast, #pragma float_control, ...) change
+                       summation bits between builds. The build sets
+                       -ffp-contract=off globally; nothing may override it.
+  header-doc           Every public header (src/, bench/common) and every
+                       tools/ entry point opens with a documentation comment.
+                       (Absorbed from the old audit_headers.sh check; the
+                       compile-probe checks remain in that script.)
+
+Escape hatch: a finding whose line (or the line directly above it) carries
+`lint:allow(<rule>) <justification>` is suppressed. The justification text is
+mandatory — a bare allow marker is itself a finding.
+
+Usage:
+  scripts/lint_determinism.py              # lint the repository tree
+  scripts/lint_determinism.py --self-test  # prove every rule fires on the
+                                           # seeded violations committed under
+                                           # scripts/lint_fixtures/
+Exit codes: 0 clean, 1 findings, 2 internal/usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Rule scopes, expressed as repo-relative path prefixes.
+# --------------------------------------------------------------------------
+
+# Layers whose output feeds the canonical record stream: anything
+# iteration-order-dependent here can change record bytes.
+RECORD_PRODUCING = (
+    "src/core/", "src/dynamic/", "src/graph/", "src/stats/",
+    "src/scenarios/", "src/bounds/", "src/exec/", "src/repro/",
+)
+
+# The two audited thread-creation seams (docs/ARCHITECTURE.md):
+# the trial worker pool and the thread-per-connection serve daemon.
+THREAD_SEAMS = (
+    "src/core/trial_pool.h", "src/core/trial_pool.cpp",
+    "src/serve/server.h", "src/serve/server.cpp",
+)
+
+CPP_EXTENSIONS = (".h", ".cpp", ".cc", ".hpp")
+CMAKE_NAMES = ("CMakeLists.txt",)
+CMAKE_EXTENSIONS = (".cmake",)
+
+ALLOW_RE = re.compile(r"lint:allow\((?P<rule>[a-z-]+)\)(?P<why>.*)")
+
+UNORDERED_TYPE_RE = re.compile(r"std\s*::\s*unordered_(?:map|set)\b")
+UNORDERED_DECL_RE = re.compile(
+    r"std\s*::\s*unordered_(?:map|set)\s*<[^;{]*>\s+(\w+)\s*[;{=(]")
+
+BANNED_RANDOMNESS = [
+    (re.compile(r"(?<![\w:])rand\s*\("), "rand()"),
+    (re.compile(r"(?<![\w:])srand\s*\("), "srand()"),
+    (re.compile(r"std\s*::\s*random_device"), "std::random_device"),
+    (re.compile(r"(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"), "time()"),
+    (re.compile(r"(?<![\w:.>])clock\s*\(\s*\)"), "clock()"),
+    (re.compile(r"system_clock"), "system_clock"),
+]
+
+RAW_THREAD = [
+    # std::thread except the std::thread::hardware_concurrency query.
+    (re.compile(r"std\s*::\s*j?thread\b(?!\s*::)"), "std::thread"),
+    (re.compile(r"std\s*::\s*async\s*\("), "std::async"),
+    (re.compile(r"\bpthread_create\b"), "pthread_create"),
+]
+
+FP_REASSOCIATION = [
+    (re.compile(r"-ffast-math"), "-ffast-math"),
+    (re.compile(r"-funsafe-math-optimizations"), "-funsafe-math-optimizations"),
+    (re.compile(r"-fassociative-math"), "-fassociative-math"),
+    (re.compile(r"-ffp-contract\s*=\s*(?:fast|on)"), "-ffp-contract=fast/on"),
+    (re.compile(r"#\s*pragma\s+STDC\s+FP_CONTRACT\s+ON"), "#pragma STDC FP_CONTRACT ON"),
+    (re.compile(r"#\s*pragma\s+float_control"), "#pragma float_control"),
+    (re.compile(r"#\s*pragma\s+clang\s+fp\b"), "#pragma clang fp"),
+    (re.compile(r"#\s*pragma\s+GCC\s+optimize"), "#pragma GCC optimize"),
+    (re.compile(r"__attribute__\s*\(\s*\(\s*optimize"), "__attribute__((optimize))"),
+]
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule, self.message)
+
+
+def is_comment_or_include(line):
+    stripped = line.lstrip()
+    return stripped.startswith("//") or stripped.startswith("#include")
+
+
+def allow_marker(lines, index):
+    """The allow marker governing lines[index], if any: same line or the one
+    directly above. Returns (rule, justification) or None."""
+    for candidate in (lines[index], lines[index - 1] if index > 0 else ""):
+        m = ALLOW_RE.search(candidate)
+        if m:
+            return m.group("rule"), m.group("why").strip()
+    return None
+
+
+def check_lines(rel, lines, patterns, rule, findings, comment_prefix="//"):
+    """Flag every (pattern, label) match outside comments, honouring
+    lint:allow markers."""
+    for i, line in enumerate(lines):
+        if line.lstrip().startswith(comment_prefix):
+            continue
+        for pattern, label in patterns:
+            if not pattern.search(line):
+                continue
+            allow = allow_marker(lines, i)
+            if allow is not None and allow[0] == rule:
+                if not allow[1]:
+                    findings.append(Finding(
+                        rel, i + 1, rule,
+                        "lint:allow(%s) needs a justification after the marker" % rule))
+                break
+            findings.append(Finding(
+                rel, i + 1, rule, "%s is banned here (determinism contract)" % label))
+            break
+
+
+def lint_unordered(rel, lines, findings):
+    strict = rel.startswith(RECORD_PRODUCING)
+    if strict:
+        for i, line in enumerate(lines):
+            if is_comment_or_include(line.rstrip()) or not UNORDERED_TYPE_RE.search(line):
+                continue
+            allow = allow_marker(lines, i)
+            if allow is not None and allow[0] == "unordered-iteration":
+                if not allow[1]:
+                    findings.append(Finding(
+                        rel, i + 1, "unordered-iteration",
+                        "lint:allow needs a justification after the marker"))
+                continue
+            findings.append(Finding(
+                rel, i + 1, "unordered-iteration",
+                "std::unordered_{set,map} in a record-producing layer "
+                "(hash iteration order is implementation-defined; "
+                "use a sorted container or an index)"))
+        return
+    # Outside the strict layers: keyed lookup is fine, iteration is not.
+    names = set()
+    for line in lines:
+        if is_comment_or_include(line):
+            continue
+        for m in UNORDERED_DECL_RE.finditer(line):
+            names.add(m.group(1))
+    if not names:
+        return
+    ident = "|".join(re.escape(n) for n in sorted(names))
+    iter_res = [
+        (re.compile(r"for\s*\([^;)]*:\s*(?:this\s*->\s*)?(?:%s)\s*\)" % ident),
+         "range-for over an unordered container"),
+        (re.compile(r"\b(?:%s)\s*\.\s*(?:begin|end|cbegin|cend)\s*\(" % ident),
+         "iterator walk over an unordered container"),
+    ]
+    check_lines(rel, lines, iter_res, "unordered-iteration", findings)
+
+
+def lint_header_doc(rel, lines, findings):
+    first = lines[0].lstrip() if lines else ""
+    if not (first.startswith("//") or first.startswith("/*")):
+        findings.append(Finding(
+            rel, 1, "header-doc",
+            "file must open with a documentation comment describing the module"))
+
+
+def lint_file(root, rel, findings):
+    path = os.path.join(root, rel)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        raise RuntimeError("cannot read %s: %s" % (rel, e))
+
+    is_cmake = rel.endswith(CMAKE_EXTENSIONS) or os.path.basename(rel) in CMAKE_NAMES
+    if is_cmake:
+        # Only the flag spellings can appear in CMake; '#' comments are prose.
+        check_lines(rel, lines, FP_REASSOCIATION[:4], "fp-reassociation", findings,
+                    comment_prefix="#")
+        return
+
+    in_src_or_tools = rel.startswith(("src/", "tools/"))
+    if in_src_or_tools:
+        lint_unordered(rel, lines, findings)
+        if not rel.startswith("src/support/"):
+            check_lines(rel, lines, BANNED_RANDOMNESS, "banned-randomness", findings)
+        if rel not in THREAD_SEAMS:
+            check_lines(rel, lines, RAW_THREAD, "raw-thread", findings)
+    check_lines(rel, lines, FP_REASSOCIATION, "fp-reassociation", findings)
+
+    if (rel.startswith(("src/", "bench/common/")) and rel.endswith(".h")) or (
+            rel.startswith("tools/") and rel.endswith(".cpp")):
+        lint_header_doc(rel, lines, findings)
+
+
+def walk_tree(root):
+    """Repo-relative lintable files under the scanned top-level entries."""
+    skip_dirs = {".git", "build", "lint_fixtures", "_deps", "golden", "__pycache__"}
+    tops = ("src", "tools", "tests", "bench", "examples", "cmake", "scripts")
+    out = []
+    for top in tops:
+        base = os.path.join(root, top)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in skip_dirs and not d.startswith("build"))
+            for name in sorted(filenames):
+                if name.endswith(CPP_EXTENSIONS) or name.endswith(CMAKE_EXTENSIONS) \
+                        or name in CMAKE_NAMES:
+                    out.append(os.path.relpath(os.path.join(dirpath, name), root))
+    for name in CMAKE_NAMES:
+        if os.path.isfile(os.path.join(root, name)):
+            out.append(name)
+    return out
+
+
+def lint_tree(root, files=None):
+    findings = []
+    for rel in (files if files is not None else walk_tree(root)):
+        lint_file(root, rel, findings)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test: the committed fixtures under scripts/lint_fixtures/ seed exactly
+# one violation class per file; the linter must report each of them (and
+# nothing else) when rooted at the fixture tree.
+# --------------------------------------------------------------------------
+
+EXPECTED_FIXTURE_FINDINGS = {
+    ("src/core/seeded_unordered.cpp", "unordered-iteration"),
+    ("src/serve/seeded_unordered_walk.cpp", "unordered-iteration"),
+    ("src/graph/seeded_wall_clock.cpp", "banned-randomness"),
+    ("src/stats/seeded_raw_thread.cpp", "raw-thread"),
+    ("src/dynamic/seeded_fast_math.h", "fp-reassociation"),
+    ("src/bounds/seeded_undocumented.h", "header-doc"),
+    ("cmake/SeededFlags.cmake", "fp-reassociation"),
+    ("src/exec/seeded_bare_allow.cpp", "banned-randomness"),
+}
+
+
+def self_test(script_dir):
+    fixtures = os.path.join(script_dir, "lint_fixtures")
+    if not os.path.isdir(fixtures):
+        print("lint_determinism: fixtures missing at %s" % fixtures, file=sys.stderr)
+        return 2
+    findings = lint_tree(fixtures)
+    got = {(f.path, f.rule) for f in findings}
+    ok = True
+    for expected in sorted(EXPECTED_FIXTURE_FINDINGS):
+        if expected not in got:
+            print("SELF-TEST FAIL: seeded violation not caught: %s [%s]" % expected)
+            ok = False
+    for extra in sorted(got - EXPECTED_FIXTURE_FINDINGS):
+        print("SELF-TEST FAIL: unexpected finding: %s [%s]" % extra)
+        ok = False
+    # The justified-allow fixture must be clean: the marker suppresses it.
+    allowed = [f for f in findings if f.path == "src/repro/seeded_allowed.cpp"]
+    if allowed:
+        print("SELF-TEST FAIL: lint:allow with justification did not suppress")
+        ok = False
+    if ok:
+        print("lint_determinism --self-test: OK "
+              "(%d seeded violations caught, justified allow suppressed)"
+              % len(EXPECTED_FIXTURE_FINDINGS))
+        return 0
+    return 1
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*",
+                        help="repo-relative files to lint (default: whole tree)")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: the script's parent)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on scripts/lint_fixtures/")
+    args = parser.parse_args(argv)
+
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    if args.self_test:
+        return self_test(script_dir)
+
+    root = args.root or os.path.dirname(script_dir)
+    findings = lint_tree(root, args.files or None)
+    for f in findings:
+        print(f)
+    if findings:
+        print("lint_determinism: %d finding(s)" % len(findings), file=sys.stderr)
+        return 1
+    print("lint_determinism: OK (tree clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

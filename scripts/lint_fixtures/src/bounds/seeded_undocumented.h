@@ -1,0 +1,2 @@
+#pragma once
+inline int seeded_violation() { return 1; }

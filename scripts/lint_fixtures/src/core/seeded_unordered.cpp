@@ -1,0 +1,6 @@
+// Fixture: unordered container in a record-producing layer (PR 5 bug class).
+#include <unordered_set>
+void seeded_violation() {
+  std::unordered_set<int> informed;
+  informed.insert(1);
+}

@@ -1,0 +1,4 @@
+// Fixture: a floating-point reassociation pragma.
+#pragma once
+#pragma GCC optimize("fast-math")
+inline double seeded_violation(double a, double b, double c) { return a + b + c; }

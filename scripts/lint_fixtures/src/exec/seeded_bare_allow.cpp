@@ -1,0 +1,5 @@
+// Fixture: an allow marker with no justification is itself a finding.
+#include <cstdlib>
+int seeded_violation() {
+  return rand();  // lint:allow(banned-randomness)
+}

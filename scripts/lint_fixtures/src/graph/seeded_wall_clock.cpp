@@ -1,0 +1,6 @@
+// Fixture: entropy and wall clock outside src/support/.
+#include <random>
+unsigned seeded_violation() {
+  std::random_device entropy;
+  return entropy();
+}

@@ -1,0 +1,6 @@
+// Fixture: a justified allow marker suppresses the finding.
+#include <cstdlib>
+int seeded_ok() {
+  // lint:allow(banned-randomness) fixture proving the escape hatch works
+  return rand();
+}

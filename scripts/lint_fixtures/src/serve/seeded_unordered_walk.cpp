@@ -1,0 +1,9 @@
+// Fixture: iterating an unordered container outside the strict layers.
+#include <string>
+#include <unordered_map>
+int seeded_violation() {
+  std::unordered_map<std::string, int> cache;
+  int total = 0;
+  for (const auto& [key, value] : cache) total += value;
+  return total;
+}

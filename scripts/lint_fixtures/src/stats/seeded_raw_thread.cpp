@@ -1,0 +1,6 @@
+// Fixture: a raw thread outside the pool/server seams.
+#include <thread>
+void seeded_violation() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -57,6 +57,21 @@ cli="$BUILD_DIR/tools/rumor_cli"
 # against the machine class — the companion of the perf_counters record.
 "$cli" hwinfo >> "$OUT"
 
+# Refuse sanitized builds: sanitizer runtimes distort wall clock by 5-20x, so
+# a TSan/ASan-built rumor_cli would poison every downstream trend comparison
+# (compare_bench.py has no way to tell a regression from an instrumented
+# binary). The hw_info record just written carries the build's sanitizer
+# stamp; anything but "none" aborts before a single cell runs. Override with
+# ALLOW_SANITIZER=1 only for debugging the harness itself.
+sanitizer=$(grep -o '"sanitizer":"[^"]*"' "$OUT" | head -n1 | cut -d'"' -f4)
+if [ "${sanitizer:-none}" != none ] && [ "${ALLOW_SANITIZER:-0}" != 1 ]; then
+  echo "run_bench.sh: refusing to record a snapshot from a sanitized build" >&2
+  echo "  (hw_info reports sanitizer=\"$sanitizer\"; rebuild without SANITIZE," >&2
+  echo "   or set ALLOW_SANITIZER=1 to override for harness debugging)" >&2
+  rm -f "$OUT"
+  exit 3
+fi
+
 case "$MATRIX" in
   full)
     # 1. The BENCH_2-compatible scenario x engine grid.

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# shellcheck gate over every shell script in scripts/.
+#
+# The scripts are load-bearing test infrastructure (identity checks, the serve
+# load test, the bench recorder) — a quoting bug there corrupts evidence, not
+# just output. Exits 0 with a notice when shellcheck is not installed (the
+# dev container ships no shellcheck); the CI lint job installs it, so the
+# gate always runs where it matters.
+#
+# Usage: scripts/run_shellcheck.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v shellcheck > /dev/null 2>&1; then
+  echo "run_shellcheck.sh: shellcheck not installed — skipping (CI runs it)" >&2
+  exit 0
+fi
+
+# -x follows source'd files; severity=style is the strictest tier, so new
+# findings fail CI instead of accumulating. Findings must be fixed or
+# suppressed inline with a justified '# shellcheck disable=SCnnnn' directive.
+mapfile -t shfiles < <(find scripts -name '*.sh' | sort)
+shellcheck -x --severity=style "${shfiles[@]}"
+echo "shellcheck: clean (${#shfiles[@]} scripts)" >&2

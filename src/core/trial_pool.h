@@ -57,8 +57,15 @@ class TrialPool {
   void run(std::int64_t tasks, int workers, std::int64_t chunk,
            const std::function<void(std::int64_t task, int worker)>& fn);
 
-  // Helpers currently parked (grows with the largest run() request).
-  int helper_count() const { return static_cast<int>(helpers_.size()); }
+  // Helpers currently parked (grows with the largest run() request). Takes
+  // the pool mutex: a concurrent run() may be growing the helper vector, and
+  // an unsynchronized size() read of a vector under reallocation is a data
+  // race (caught by design review for the TSan leg, not by a test — the
+  // racing window is a few instructions).
+  int helper_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int>(helpers_.size());
+  }
 
  private:
   struct Job;
@@ -68,7 +75,7 @@ class TrialPool {
 
   std::vector<std::thread> helpers_;
   std::mutex run_mutex_;  // serializes whole run() calls from outside threads
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;
   Job* job_ = nullptr;          // non-null while a run() is in flight

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+#include <system_error>
 
 namespace rumor {
 
@@ -16,7 +17,7 @@ bool LineReader::drain(std::vector<std::string>& out) {
   do {
     got = read(fd_, buf, sizeof(buf));
   } while (got < 0 && errno == EINTR);
-  if (got < 0) throw std::runtime_error(std::string("read: ") + std::strerror(errno));
+  if (got < 0) throw std::system_error(errno, std::generic_category(), "read");
   if (got == 0) {
     eof_ = true;
     return false;

@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <system_error>
 #include <utility>
 
 namespace rumor {
@@ -15,7 +16,7 @@ namespace rumor {
 namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
+  throw std::system_error(errno, std::generic_category(), what);
 }
 
 sockaddr_un unix_address(const std::string& path) {

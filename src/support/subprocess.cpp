@@ -8,14 +8,18 @@
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <system_error>
 #include <utility>
 
 namespace rumor {
 
 namespace {
 
+// std::system_error (not strerror): strerror returns a pointer into a shared
+// static buffer, and spawn() is called from coordinator code that may run
+// alongside TrialPool helpers — concurrency-mt-unsafe in clang-tidy terms.
 [[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
+  throw std::system_error(errno, std::generic_category(), what);
 }
 
 }  // namespace
@@ -72,8 +76,8 @@ Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
     close(out_pipe[0]);
     int status = 0;
     waitpid(pid, &status, 0);
-    throw std::runtime_error("exec '" + argv[0] +
-                             "' failed: " + std::strerror(exec_errno));
+    throw std::system_error(exec_errno, std::generic_category(),
+                            "exec '" + argv[0] + "' failed");
   }
 
   Subprocess p;

@@ -12,13 +12,16 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "exec/execution_backend.h"
 #include "exec/in_process_backend.h"
@@ -258,6 +261,45 @@ TEST(Subprocess, ExecFailureIsACleanError) {
 TEST(Subprocess, ReportsKillSignal) {
   Subprocess p = Subprocess::spawn({"/bin/sh", "-c", "kill -9 $$"});
   EXPECT_EQ(p.wait(), 128 + SIGKILL);
+}
+
+// The destructor-path interleaving the sharded coordinator hits when it
+// unwinds on error: a reader thread is still draining the pipe while the
+// owner SIGKILLs and reaps the child. The ordering contract is that kill()
+// and wait() may run concurrently with reads on stdout_fd() (the fd stays
+// valid; the child's death delivers EOF to the reader), and only after the
+// reader is joined may the fd be closed (here by the destructor). Run under
+// -DSANITIZE=thread this test checks the seam TSan-clean; the explicit
+// mid-drain kill distinguishes it from ReportsKillSignal above, which reaps
+// an already-dead child with no reader in flight.
+TEST(Subprocess, KillAndReapWhileReaderDrains) {
+  // The child streams lines forever; it can only die by our SIGKILL.
+  Subprocess p =
+      Subprocess::spawn({"/bin/sh", "-c", "while :; do echo tick; done"});
+
+  std::atomic<int> lines_seen{0};
+  std::atomic<bool> saw_eof{false};
+  std::thread reader([&]() {
+    LineReader line_reader(p.stdout_fd());
+    std::vector<std::string> lines;
+    while (line_reader.drain(lines)) {
+      lines_seen.fetch_add(static_cast<int>(lines.size()));
+      lines.clear();
+    }
+    saw_eof.store(true);
+  });
+
+  // Let the reader observe real mid-stream traffic before the kill.
+  while (lines_seen.load() < 10) std::this_thread::yield();
+
+  p.kill();
+  EXPECT_EQ(p.wait(), 128 + SIGKILL);  // reap races the reader's last drain
+
+  reader.join();
+  EXPECT_TRUE(saw_eof.load());  // child death closed the write end
+  EXPECT_GE(lines_seen.load(), 10);
+  // Destructor runs here: child already reaped, reader joined — it only
+  // closes the fd, which no other thread can still be touching.
 }
 
 // --- ShardedBackend with fake /bin/sh workers -------------------------------

@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
@@ -346,6 +348,70 @@ TEST(ServeServer, MissThenHitIsByteIdentical) {
   const CacheStats stats = server.cache_stats();
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 1u);
+}
+
+// Regression coverage for the stats/cache synchronization audit (the TSan
+// leg's serve target): concurrent request handlers and stats readers must
+// not race. Before the audit pinned every counter behind the cache mutex,
+// an unsynchronized cache_stats() read could tear against a handler
+// incrementing hits/misses — a bug only TSan sees (the torn read is benign
+// on x86). Run under -DSANITIZE=thread this test is the detector; under a
+// plain build it still pins the hits+misses == requests-served invariant.
+TEST(ServeServer, ConcurrentStatsReadsDoNotRaceHandlers) {
+  ServeServer server(small_server());
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 6;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> stats_reads{0};
+
+  // Reader: hammer the stats and cache accessors while handlers run.
+  std::thread reader([&]() {
+    while (!done.load()) {
+      const CacheStats stats = server.cache_stats();
+      EXPECT_LE(stats.hits + stats.misses,
+                static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+      stats_reads.fetch_add(1);
+    }
+  });
+
+  // Clients: distinct cells per client (misses) plus a shared cell every
+  // other request (hits), so both counters move concurrently.
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, c]() {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        std::string request;
+        if (r % 2 == 0) {
+          request = R"({"cmd":"run","scenario":"dynamic_star","n":16,"trials":1})";
+        } else {
+          request = R"({"cmd":"run","scenario":"static_clique","n":)" +
+                    std::to_string(16 + 8 * c) + R"(,"trials":1})";
+        }
+        std::vector<std::string> lines;
+        const auto outcome =
+            server.handle_request_line(request, [&](const std::string& out) {
+              lines.push_back(out);
+              return true;
+            });
+        EXPECT_EQ(static_cast<int>(outcome),
+                  static_cast<int>(ServeServer::RequestOutcome::served));
+        EXPECT_GE(lines.size(), 2u);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  done.store(true);
+  reader.join();
+
+  const CacheStats stats = server.cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+  // The shared cell misses once, then every repeat is a hit; each client's
+  // private cells miss on first sight. Exact hit counts depend on
+  // interleaving, but insertions can never exceed misses.
+  EXPECT_GE(stats.misses, 1u + kClients);
+  EXPECT_LE(stats.insertions, stats.misses);
+  EXPECT_GT(stats_reads.load(), 0u);
 }
 
 TEST(ServeServer, BadRequestsBecomeServeErrorRecords) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <vector>
@@ -29,15 +31,21 @@ TEST(TrialPool, WorkerIdsAreDense) {
   TrialPool pool;
   std::mutex mu;
   std::set<int> workers;
-  pool.run(64, 3, 1, [&](std::int64_t, int worker) {
-    std::lock_guard<std::mutex> lock(mu);
+  // Hold every task open until all three workers have claimed one, so each
+  // worker id is observed deterministically. (A plain fast task body lets the
+  // helpers drain the whole range before the caller claims anything — seen in
+  // practice under TSan's slowed scheduling — and the pool's contract only
+  // promises the caller *participates*, not that it wins a task.)
+  std::condition_variable all_in;
+  int arrived = 0;
+  pool.run(3, 3, 1, [&](std::int64_t, int worker) {
+    std::unique_lock<std::mutex> lock(mu);
     workers.insert(worker);
+    ++arrived;
+    all_in.notify_all();
+    all_in.wait(lock, [&] { return arrived == 3; });
   });
-  for (int w : workers) {
-    EXPECT_GE(w, 0);
-    EXPECT_LT(w, 3);
-  }
-  EXPECT_TRUE(workers.count(0));  // the caller participates as worker 0
+  EXPECT_EQ(workers, (std::set<int>{0, 1, 2}));  // dense, caller is worker 0
 }
 
 TEST(TrialPool, MoreWorkersThanTasksClamps) {

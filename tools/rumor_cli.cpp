@@ -516,15 +516,20 @@ int cmd_fingerprint(const Cli& cli, const std::string& self) {
 }
 
 // Emits one JSON line describing the hardware tier this binary was compiled
-// for: the selected SIMD ISA (support/simd.h), its lane-block width, and the
-// host's thread budget. Benchmark recordings prepend this record so a BENCH
-// file is self-describing — a flat thread curve or an odd kernel ratio can be
-// read off against the machine that produced it (scripts/run_bench.sh).
+// for: the selected SIMD ISA (support/simd.h), its lane-block width, the
+// host's thread budget, and the sanitizer configuration baked into the build
+// (cmake -DSANITIZE=...). Benchmark recordings prepend this record so a
+// BENCH file is self-describing — a flat thread curve or an odd kernel ratio
+// can be read off against the machine that produced it, and a sanitized
+// binary (5-20x slower per instruction) can never pollute a BENCH snapshot
+// unnoticed: scripts/run_bench.sh refuses to record unless the sanitizer
+// field reads "none".
 int cmd_hwinfo(std::ostream& os) {
   os << "{\"record\":\"hw_info\",\"simd_tier\":\"" << simd::kTierName
      << "\",\"simd_lanes\":" << simd::kLanes
      << ",\"hardware_concurrency\":" << std::thread::hardware_concurrency()
-     << ",\"build\":\"" << RUMOR_BUILD_INFO << "\"}\n";
+     << ",\"sanitizer\":\"" << RUMOR_SANITIZER
+     << "\",\"build\":\"" << RUMOR_BUILD_INFO << "\"}\n";
   return 0;
 }
 
